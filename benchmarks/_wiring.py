@@ -1,0 +1,33 @@
+"""Wiring helpers: connect steered apps to services across the simulated net."""
+
+from __future__ import annotations
+
+from repro.steering import LinkAdapter, SteeredApplication
+
+
+def wire_app_to_host(env, net, app: SteeredApplication, app_host: str,
+                     svc_host: str, port: int, kind: str = "control"):
+    """Open a connection app_host -> svc_host and attach both ends.
+
+    Returns a dict that will hold the service-side link once the wiring
+    process has run (schedule before env.run()).
+    """
+    out = {}
+    listener = net.host(svc_host).listen(port)
+
+    def accept_side():
+        conn = yield from listener.accept()
+        out["service_link"] = LinkAdapter(conn)
+
+    def connect_side():
+        conn = yield from net.host(app_host).connect(svc_host, port)
+        link = LinkAdapter(conn)
+        if kind == "control":
+            app.attach_control(link)
+        else:
+            app.attach_sample_sink(link)
+        out["app_link"] = link
+
+    env.process(accept_side())
+    env.process(connect_side())
+    return out

@@ -1,0 +1,57 @@
+"""ABL-THETA — ablation of the Barnes-Hut acceptance parameter.
+
+The tree code's only tunable is theta (s/d acceptance).  This ablation
+maps the accuracy/cost frontier that sits behind FIG3's O(N log N) claim:
+small theta converges to direct summation (exact, O(N^2)); large theta is
+cheap but sloppy.  PEPC's production default sits near 0.5-0.7.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.sims.pepc import build_octree, direct_field, tree_field
+
+
+def _sweep(n=2048, thetas=(0.2, 0.4, 0.6, 0.8, 1.2)):
+    rng = np.random.default_rng(11)
+    pos = rng.random((n, 3))
+    q = rng.choice([-1.0, 1.0], size=n)
+    Ed, _ = direct_field(pos, q)
+    norm = np.maximum(np.linalg.norm(Ed, axis=1), 1e-9)
+    rows = []
+    for theta in thetas:
+        tree = build_octree(pos, q)
+        t0 = time.perf_counter()
+        Et, _, stats = tree_field(tree, theta=theta)
+        elapsed = time.perf_counter() - t0
+        err = np.linalg.norm(Et - Ed, axis=1) / norm
+        ints = stats["monopole_interactions"] + stats["direct_interactions"]
+        rows.append((theta, ints, float(np.median(err)),
+                     float(np.percentile(err, 95)), elapsed))
+    return rows
+
+
+def test_ablation_theta_accuracy_cost_frontier(benchmark, reporter):
+    rows = run_once(benchmark, _sweep)
+    table = [
+        [f"{theta:.1f}", ints, f"{med * 100:.2f}%", f"{p95 * 100:.2f}%",
+         f"{t:.3f}"]
+        for theta, ints, med, p95, t in rows
+    ]
+    reporter.table(
+        "ABL-THETA: Barnes-Hut accuracy vs cost (N=2048, monopole)",
+        ["theta", "interactions", "median err", "p95 err", "wall (s)"],
+        table,
+    )
+    # Monotone frontier: cost falls, error rises with theta.
+    ints = [r[1] for r in rows]
+    errs = [r[2] for r in rows]
+    assert all(a >= b for a, b in zip(ints, ints[1:]))
+    assert all(a <= b * 1.05 for a, b in zip(errs, errs[1:]))
+    # The production operating point: few-percent error (monopole-only
+    # expansion) at a fraction of the direct cost.
+    theta06 = next(r for r in rows if abs(r[0] - 0.6) < 1e-9)
+    assert theta06[2] < 0.10
+    assert theta06[1] < 0.5 * 2048 * 2047

@@ -1,0 +1,124 @@
+"""FIG3 — PEPC online visualization via VISIT (paper Figure 3).
+
+Regenerated series: (a) the O(N log N) claim — tree-force interaction
+counts and wall time vs the O(N^2) direct baseline; (b) the cost of the
+VISIT instrumentation (shipping coordinates, velocities, charge,
+processor number, labels and tree-domain boxes every step).
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.sims.pepc import (
+    PlasmaSim,
+    beam_on_sphere_setup,
+    build_octree,
+    direct_field,
+    tree_field,
+)
+from repro.visit.messages import DataSend, encode_visit
+
+
+def _scaling_table(sizes=(512, 1024, 2048, 4096, 8192)):
+    rng = np.random.default_rng(42)
+    rows = []
+    for n in sizes:
+        pos = rng.random((n, 3))
+        q = rng.choice([-1.0, 1.0], size=n)
+        t0 = time.perf_counter()
+        tree = build_octree(pos, q)
+        _, _, stats = tree_field(tree, theta=0.6)
+        t_tree = time.perf_counter() - t0
+        ints = stats["monopole_interactions"] + stats["direct_interactions"]
+        if n <= 2048:
+            t0 = time.perf_counter()
+            direct_field(pos, q)
+            t_direct = time.perf_counter() - t0
+        else:
+            t_direct = None
+        rows.append((n, ints, t_tree, t_direct))
+    return rows
+
+
+def test_fig3_tree_vs_direct_scaling(benchmark, reporter):
+    rows = run_once(benchmark, _scaling_table)
+    table = []
+    for n, ints, t_tree, t_direct in rows:
+        table.append(
+            [n, ints, f"{ints / n:.0f}", f"{t_tree:.3f}",
+             f"{t_direct:.3f}" if t_direct else "-"]
+        )
+    reporter.table(
+        "FIG3a: PEPC force summation scaling (theta=0.6)",
+        ["N", "interactions", "ints/N", "tree (s, wall)", "direct (s, wall)"],
+        table,
+    )
+    # O(N log N) shape: interactions grow far slower than N^2.
+    n0, i0 = rows[0][0], rows[0][1]
+    n1, i1 = rows[-1][0], rows[-1][1]
+    exponent = math.log(i1 / i0) / math.log(n1 / n0)
+    reporter.note(f"fitted interaction-count exponent: N^{exponent:.2f} "
+                  "(direct summation would be N^2.00)")
+    assert exponent < 1.7
+    # And the tree beats direct in wall time at the largest common size.
+    n2048 = next(r for r in rows if r[0] == 2048)
+    assert n2048[2] < n2048[3]
+
+
+def test_fig3_tree_force_kernel(benchmark):
+    """Wall-time kernel benchmark: one tree-force evaluation at N=2048."""
+    rng = np.random.default_rng(7)
+    pos = rng.random((2048, 3))
+    q = rng.choice([-1.0, 1.0], size=2048)
+
+    def kernel():
+        tree = build_octree(pos, q)
+        return tree_field(tree, theta=0.6)
+
+    E, _, _ = benchmark(kernel)
+    assert np.all(np.isfinite(E))
+
+
+def _instrumentation_overhead(steps=5):
+    setup = beam_on_sphere_setup(n_plasma=400, n_beam=56, seed=3)
+    bare = PlasmaSim(setup={k: v.copy() for k, v in setup.items()}, theta=0.6)
+    instrumented = PlasmaSim(setup={k: v.copy() for k, v in setup.items()},
+                             theta=0.6)
+
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        bare.step()
+    t_bare = (time.perf_counter() - t0) / steps
+
+    t0 = time.perf_counter()
+    shipped = 0
+    for _ in range(steps):
+        instrumented.step()
+        # The full section 3.4 data-space, encoded for the wire.
+        blob = encode_visit(DataSend(tag=1, payload=instrumented.sample()))
+        shipped += len(blob)
+    t_inst = (time.perf_counter() - t0) / steps
+    return t_bare, t_inst, shipped / steps
+
+
+def test_fig3_visit_instrumentation_overhead(benchmark, reporter):
+    t_bare, t_inst, bytes_per_step = run_once(
+        benchmark, _instrumentation_overhead
+    )
+    overhead = (t_inst - t_bare) / t_bare * 100.0
+    reporter.table(
+        "FIG3b: VISIT instrumentation cost (PEPC, N=456, per step, wall)",
+        ["variant", "s/step", "sample bytes/step"],
+        [
+            ["bare simulation", f"{t_bare:.4f}", "-"],
+            ["instrumented (ship full data-space)", f"{t_inst:.4f}",
+             f"{bytes_per_step:.0f}"],
+            ["overhead", f"{overhead:.1f}%", ""],
+        ],
+    )
+    # The design goal: instrumentation must not dominate the simulation.
+    assert t_inst < 2.0 * t_bare

@@ -1,0 +1,87 @@
+"""LB3D — the steered Lattice-Boltzmann workload (paper section 2.2).
+
+Regenerated series: (a) wall-time step cost vs lattice size (the compute
+budget the Grid has to supply to keep the session interactive); (b) the
+physics response that made the demo worth watching — steering the
+miscibility flips the mixture between mixed and demixed states.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.sims import LatticeBoltzmann3D
+
+
+def test_lb3d_step_kernel(benchmark):
+    """Wall-time per LB step on a 24^3 lattice."""
+    sim = LatticeBoltzmann3D(shape=(24, 24, 24), g=2.0, seed=1)
+    benchmark(sim.step)
+    # Mass equals the initialized total (n^3 up to the seeded perturbation).
+    assert sim.total_mass() == pytest.approx(24**3, rel=1e-3)
+
+
+def _scaling(sizes=(12, 16, 24, 32)):
+    rows = []
+    for n in sizes:
+        sim = LatticeBoltzmann3D(shape=(n, n, n), g=2.0, seed=1)
+        sim.step()  # warm
+        t0 = time.perf_counter()
+        steps = 5
+        for _ in range(steps):
+            sim.step()
+        per_step = (time.perf_counter() - t0) / steps
+        rows.append((n, per_step, per_step / n**3))
+    return rows
+
+
+def test_lb3d_scaling(benchmark, reporter):
+    rows = run_once(benchmark, _scaling)
+    table = [
+        [f"{n}^3", f"{t * 1e3:.1f}", f"{per_site * 1e9:.1f}"]
+        for n, t, per_site in rows
+    ]
+    reporter.table(
+        "LB3D-a: step cost vs lattice size (wall time)",
+        ["lattice", "ms/step", "ns/site/step"], table,
+    )
+    # Cost per site roughly constant: the kernel is O(sites).
+    per_site = [r[2] for r in rows]
+    assert max(per_site) < 6 * min(per_site)
+
+
+def _steering_response():
+    sim = LatticeBoltzmann3D(shape=(12, 12, 12), g=0.5, seed=2)
+    series = []
+    for step in range(40):
+        sim.step()
+        series.append((step, sim.g, sim.demix_measure()))
+    sim.set_parameter("g", 3.0)  # the demo moment: slide the miscibility
+    response_step = None
+    for step in range(40, 160):
+        sim.step()
+        series.append((step, sim.g, sim.demix_measure()))
+        if response_step is None and sim.demix_measure() > 0.2:
+            response_step = step
+    return series, response_step
+
+
+def test_lb3d_miscibility_steering_response(benchmark, reporter):
+    series, response_step = run_once(benchmark, _steering_response)
+    picks = [s for s in series if s[0] % 20 == 0 or s[0] == response_step]
+    reporter.table(
+        "LB3D-b: order-parameter response to steering g: 0.5 -> 3.0 at "
+        "step 40",
+        ["step", "g", "demix measure"],
+        [[s, g, f"{d:.4f}"] for s, g, d in picks],
+    )
+    reporter.note(
+        f"structures become clearly demixed at step {response_step} "
+        f"({response_step - 40} steps after the steer)"
+    )
+    before = max(d for s, _, d in series if s < 40)
+    after = series[-1][2]
+    assert before < 0.05 and after > 0.3
+    assert response_step is not None and response_step < 150

@@ -1,0 +1,124 @@
+"""S43 — the post-processing feedback loop (paper section 4.3).
+
+"The more stringent requirement here is, that the update takes place at
+the same time at the different participating sites...  such scene update
+rates are only possible if the generation of the new content is done
+locally and only synchronisation information such as the parameter set
+for the cutting plane determination is exchanged."
+
+Regenerated series: update latency, inter-site skew and WAN bytes for
+parameter-sync vs content-streaming, swept over field size and
+participant count.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.covise import CollaborativeCovise, MapEditor
+from repro.des import Environment
+from repro.net import Network
+from repro.workloads import SUPERJANET, link_with_profile
+
+
+def _spec(resolution):
+    env = Environment()
+    net = Network(env)
+    net.add_host("scratch")
+    editor = MapEditor(net)
+    editor.add_source("read", "scratch", lambda: np.zeros((4, 4, 4)))
+    editor.add("CuttingPlane", "cut", "scratch", resolution=resolution)
+    editor.connect("read", "field", "cut", "field")
+    return editor.spec()
+
+
+def _session(n_sites, field_n, resolution):
+    env = Environment()
+    net = Network(env)
+    names = [f"site{i}" for i in range(n_sites)]
+    for n in names:
+        net.add_host(n)
+    for i in range(n_sites):
+        for j in range(i + 1, n_sites):
+            link_with_profile(net, names[i], names[j], SUPERJANET)
+    rng = np.random.default_rng(3)
+    field = rng.random((field_n, field_n, field_n))
+    sources = {n: {"read": (lambda f=field: f)} for n in names}
+    session = CollaborativeCovise(
+        net, _spec(resolution), {n: n for n in names}, sources,
+        watch=("cut", "plane"),
+    )
+    return env, session
+
+
+def _measure(n_sites, field_n, mode, resolution=48):
+    env, session = _session(n_sites, field_n, resolution)
+    out = {}
+
+    def proc():
+        yield from session.execute_all()
+        t0 = env.now
+        report = yield from session.change_parameter(
+            "cut", "point", (field_n / 3.0,) * 3, mode=mode
+        )
+        report["latency"] = max(report["per_site_done"].values()) - t0
+        out.update(report)
+
+    env.process(proc())
+    env.run(until=300.0)
+    return out
+
+
+def test_s43_param_vs_content_over_plane_resolution(benchmark, reporter):
+    def sweep():
+        rows = []
+        for resolution in (32, 64, 96):
+            for mode in ("parameter", "content"):
+                r = _measure(3, 32, mode, resolution=resolution)
+                rows.append(
+                    [f"{resolution}x{resolution}", mode,
+                     f"{r['latency'] * 1e3:.1f}",
+                     f"{r['skew'] * 1e3:.2f}", r["wan_bytes"],
+                     r["digests_agree"]]
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    reporter.table(
+        "S43a: cutting-plane update, 3 sites on SuperJanet "
+        "(latency | skew | WAN bytes)",
+        ["plane", "sync mode", "latency (ms)", "skew (ms)", "WAN bytes",
+         "identical content"],
+        rows,
+    )
+    # Parameter mode: WAN bytes constant regardless of the extracted
+    # content size; content mode grows with it.
+    param_bytes = [int(r[4]) for r in rows if r[1] == "parameter"]
+    content_bytes = [int(r[4]) for r in rows if r[1] == "content"]
+    assert len(set(param_bytes)) == 1
+    assert content_bytes[0] < content_bytes[-1]
+    assert all(r[5] for r in rows)
+
+
+def test_s43_skew_vs_participants(benchmark, reporter):
+    def sweep():
+        rows = []
+        for k in (2, 4, 8):
+            for mode in ("parameter", "content"):
+                r = _measure(k, 32, mode, resolution=96)
+                rows.append([k, mode, f"{r['skew'] * 1e3:.2f}",
+                             r["wan_bytes"]])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    reporter.table(
+        "S43b: inter-site skew vs participants (96x96 plane)",
+        ["sites", "sync mode", "skew (ms)", "WAN bytes"], rows,
+    )
+    # Content streaming serializes per-receiver transfers -> skew grows
+    # with participants; parameter sync stays near-flat.
+    param_skews = [float(r[2]) for r in rows if r[1] == "parameter"]
+    content_skews = [float(r[2]) for r in rows if r[1] == "content"]
+    assert content_skews[-1] > 2 * param_skews[-1]
+    assert content_skews[0] < content_skews[-1]  # grows with participants
+    # Parameter-mode skew stays near the one-way latency at every size.
+    assert max(param_skews) < 3 * min(param_skews) + 1e-9

@@ -1,0 +1,87 @@
+"""VBROKER — the collaborative multiplexer (paper section 3.3).
+
+Regenerated series: fan-out cost vs number of participating
+visualizations, observer-consistency (everyone sees every sample), and
+steering-request latency independence from the participant count.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.des import Environment
+from repro.net import Network
+from repro.visit import VBroker, VisitClient, VisitServer
+from repro.workloads import CAMPUS, SUPERJANET, link_with_profile
+
+TAG_DATA, TAG_PARAMS = 1, 2
+SAMPLE = np.zeros(4096, dtype=np.float32)  # 16 KB per sample
+
+
+def _run(k_viz, n_samples=20):
+    env = Environment()
+    net = Network(env)
+    net.add_host("sim-host")
+    net.add_host("broker-host")
+    link_with_profile(net, "sim-host", "broker-host", CAMPUS)
+    servers = {}
+    for i in range(k_viz):
+        name = f"viz-{i}"
+        net.add_host(name)
+        link_with_profile(net, "broker-host", name, SUPERJANET)
+        s = VisitServer(net.host(name), 6000, password="pw", name=name)
+        s.provide(TAG_PARAMS, lambda n=name: f"params:{n}")
+        s.start()
+        servers[name] = s
+    broker = VBroker(net.host("broker-host"), 7000, password="pw")
+    broker.start()
+    client = VisitClient(net.host("sim-host"), "broker-host", 7000, "pw")
+    out = {}
+
+    def scenario():
+        for name in servers:
+            yield from broker.add_visualization(name, name, 6000)
+        yield from client.connect(timeout=1.0)
+        t0 = env.now
+        for i in range(n_samples):
+            yield from client.send(TAG_DATA, SAMPLE)
+            yield env.timeout(0.02)
+        out["send_phase"] = env.now - t0
+        t0 = env.now
+        ok, _ = yield from client.request(TAG_PARAMS, timeout=5.0)
+        out["steer_latency"] = env.now - t0
+        out["steer_ok"] = ok
+
+    env.process(scenario())
+    env.run(until=60.0)
+    counts = [len(s.received[TAG_DATA]) for s in servers.values()]
+    out["min_received"] = min(counts)
+    out["max_received"] = max(counts)
+    out["broker_fanout"] = broker.fanout_messages
+    return out
+
+
+def test_vbroker_scaling(benchmark, reporter):
+    def sweep():
+        return {k: _run(k) for k in (1, 2, 4, 8, 16)}
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for k, r in sorted(results.items()):
+        rows.append(
+            [k, r["min_received"], r["max_received"],
+             f"{r['steer_latency'] * 1e3:.1f}",
+             "yes" if r["steer_ok"] else "no"]
+        )
+    reporter.table(
+        "VBROKER: 20 x 16KB samples fanned out to k visualizations",
+        ["k", "min samples seen", "max samples seen",
+         "steer latency (ms)", "steer ok"],
+        rows,
+    )
+    for k, r in results.items():
+        # Observer consistency: every participant saw every sample.
+        assert r["min_received"] == r["max_received"] == 20, k
+        assert r["steer_ok"]
+    # Steering latency goes to the master only: independent of k.
+    latencies = [r["steer_latency"] for r in results.values()]
+    assert max(latencies) < 2 * min(latencies)

@@ -1,0 +1,117 @@
+"""VISIT-T — the VISIT design goal (paper section 3.2).
+
+"A main design goal of VISIT was to minimize the load on the steered
+simulation and to prevent failures or slow operation of the visualization
+from disturbing the simulation progress ...  all operations ... are
+guaranteed to complete (or fail) after a user-specified timeout."
+
+Workload: a simulation stepping every 50 ms (virtual) that ships a sample
+and polls for parameters each step, against a healthy / slow / dead
+visualization — once with the VISIT client (bounded ops), once with a
+blocking-style baseline.  Regenerated series: steps completed in a fixed
+virtual horizon and the per-step overhead.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.des import Environment
+from repro.net import Network
+from repro.visit import VisitClient, VisitServer
+from repro.visit.client import BlockingClientBaseline
+from repro.workloads import CAMPUS, link_with_profile
+
+HORIZON = 20.0
+STEP_COST = 0.05
+TAG_DATA, TAG_PARAMS = 1, 2
+
+
+def _grid(response_delay=0.0, ack_sends=False):
+    env = Environment()
+    net = Network(env)
+    net.add_host("sim-host")
+    net.add_host("viz-host")
+    link_with_profile(net, "sim-host", "viz-host", CAMPUS)
+    server = VisitServer(net.host("viz-host"), 6000, password="pw",
+                         response_delay=response_delay, ack_sends=ack_sends)
+    server.provide(TAG_PARAMS, lambda: 1.0)
+    server.start()
+    return env, net, server
+
+
+def _visit_run(server_state):
+    delay = {"healthy": 0.0, "slow": 2.0, "dead": 0.0}[server_state]
+    env, net, server = _grid(response_delay=delay)
+    client = VisitClient(net.host("sim-host"), "viz-host", 6000, "pw",
+                         default_timeout=0.1)
+    steps = {"n": 0}
+
+    def simulation():
+        yield from client.connect(timeout=1.0)
+        if server_state == "dead":
+            server.kill()
+        while env.now < HORIZON:
+            yield env.timeout(STEP_COST)
+            yield from client.send(TAG_DATA, np.zeros(256, dtype=np.float32))
+            yield from client.request(TAG_PARAMS, timeout=0.1)
+            steps["n"] += 1
+
+    env.process(simulation())
+    env.run(until=HORIZON + 1.0)
+    return steps["n"]
+
+
+def _blocking_run(server_state):
+    delay = {"healthy": 0.0, "slow": 2.0, "dead": 0.0}[server_state]
+    env, net, server = _grid(response_delay=delay, ack_sends=True)
+    client = BlockingClientBaseline(net.host("sim-host"), "viz-host", 6000, "pw")
+    steps = {"n": 0}
+
+    def simulation():
+        yield from client.connect()
+        if server_state == "dead":
+            server.kill()
+        while env.now < HORIZON:
+            yield env.timeout(STEP_COST)
+            yield from client.send(TAG_DATA, np.zeros(256, dtype=np.float32))
+            steps["n"] += 1
+
+    env.process(simulation())
+    env.run(until=HORIZON + 1.0)
+    return steps["n"]
+
+
+def test_visit_timeouts_protect_the_simulation(benchmark, reporter):
+    def sweep():
+        out = {}
+        for state in ("healthy", "slow", "dead"):
+            out[state] = (_visit_run(state), _blocking_run(state))
+        return out
+
+    results = run_once(benchmark, sweep)
+    ideal = int(HORIZON / STEP_COST)
+    rows = []
+    for state, (visit_steps, blocking_steps) in results.items():
+        rows.append(
+            [state, visit_steps, blocking_steps,
+             f"{visit_steps / ideal * 100:.0f}%",
+             f"{blocking_steps / ideal * 100:.0f}%"]
+        )
+    reporter.table(
+        f"VISIT-T: simulation steps completed in {HORIZON:.0f}s virtual "
+        f"(ideal {ideal}; step cost {STEP_COST}s)",
+        ["viz state", "VISIT steps", "blocking steps", "VISIT %ideal",
+         "blocking %ideal"],
+        rows,
+    )
+    visit_healthy, blocking_healthy = results["healthy"]
+    visit_slow, blocking_slow = results["slow"]
+    visit_dead, blocking_dead = results["dead"]
+    # Healthy: both fine.
+    assert visit_healthy > 0.8 * ideal
+    # Slow viz: VISIT bounded by its 0.1s timeout; blocking collapses.
+    assert visit_slow > 0.25 * ideal
+    assert blocking_slow < 0.15 * ideal
+    # Dead viz: VISIT keeps going; blocking stops entirely.
+    assert visit_dead > 0.25 * ideal
+    assert blocking_dead <= 2

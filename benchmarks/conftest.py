@@ -1,0 +1,69 @@
+"""Shared benchmark infrastructure.
+
+Every bench prints its paper-style table through the ``reporter`` fixture,
+which also appends to ``benchmarks/results.txt`` so the series survive
+pytest's output capture.  EXPERIMENTS.md is written from those tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("")
+    yield
+
+
+class Reporter:
+    def __init__(self) -> None:
+        self._chunks: list[str] = []
+
+    def table(self, title: str, header: list[str], rows: list[list]) -> str:
+        widths = [
+            max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows
+            else len(str(header[i]))
+            for i in range(len(header))
+        ]
+
+        def fmt(cells):
+            return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+        lines = [f"== {title} ==", fmt(header),
+                 "-+-".join("-" * w for w in widths)]
+        lines += [fmt(r) for r in rows]
+        text = "\n".join(lines) + "\n"
+        self._chunks.append(text)
+        return text
+
+    def note(self, text: str) -> None:
+        self._chunks.append(text + "\n")
+
+    def flush(self) -> None:
+        blob = "\n".join(self._chunks) + "\n"
+        print("\n" + blob)
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(blob)
+        self._chunks.clear()
+
+
+@pytest.fixture
+def reporter():
+    rep = Reporter()
+    yield rep
+    rep.flush()
+
+
+def run_once(benchmark, fn):
+    """Run a whole-scenario function exactly once under pytest-benchmark.
+
+    Scenario benches measure virtual-time quantities themselves; the
+    benchmark fixture is still exercised so ``--benchmark-only`` keeps
+    them, and the wall time it records is the scenario cost.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""The full SC'03 showcase (paper sections 1, 2.4, 3.4, 4.6).
+
+One virtual venue, many sites, all the integration modes the paper lists:
+
+* vic-style multicast video of the show floor to every site (a bridged,
+  firewalled CAVE included);
+* vnc sharing of the steering client desktop, with a remote collaborator
+  actually moving a slider;
+* VizServer sharing of the big visualization with a control token passed
+  between sites;
+* an app-session advertised in the venue so sites can join the shared
+  COVISE-style application.
+
+Run:  python examples/accessgrid_showcase.py
+"""
+
+import numpy as np
+
+from repro.accessgrid import AGNode, VenueServer, VncClient, VncServer
+from repro.accessgrid.media import MediaProducer
+from repro.accessgrid.vizserver import VizServerClient, VizServerSession
+from repro.sims import LatticeBoltzmann3D
+from repro.viz import Camera, Geometry, isosurface
+from repro.workloads import sc03_showfloor
+
+
+def main() -> None:
+    env, net, site_names = sc03_showfloor(n_sites=4, cave=True)
+    server = VenueServer(net, net.host("venue-server"))
+    venue = server.create_venue("SC03-Phoenix")
+
+    # --- sites enter the venue ---------------------------------------------
+    nodes = {}
+    for name in site_names:
+        node = AGNode(net.host(name))
+        if name == "hlrs-cave":
+            node.enter(venue, bridge_host=net.host("venue-server"))
+            print(f"{name}: entered via unicast bridge (no native multicast)")
+        else:
+            node.enter(venue)
+            print(f"{name}: entered with native multicast")
+        nodes[name] = node
+
+    # --- the venue advertises the shared application -----------------------------
+    app_session = venue.create_app_session(
+        "covise", {"map": "lb3d-isosurface", "controller": "ag-site-0"}
+    )
+    for name in site_names:
+        nodes[name].join_app(app_session.session_id)
+    print(f"app session {app_session.session_id}: "
+          f"{len(app_session.participants)} participants\n")
+
+    # --- show floor video into the venue ----------------------------------------
+    video = MediaProducer(net.host("ag-site-0"), venue.video, fps=25,
+                          frame_bytes=8000, name="showfloor-vic")
+    video.start()
+
+    # --- the steered simulation + VizServer session ------------------------------
+    sim = LatticeBoltzmann3D(shape=(14, 14, 14), g=3.0, seed=3)
+    viz = VizServerSession(net.host("venue-server"), 7010, width=160,
+                           height=120)
+    viz.start()
+
+    def refresh_scene():
+        field = sim.order_parameter()
+        n = field.shape[0]
+        verts, faces = isosurface(field, 0.0, spacing=(2.0 / (n - 1),) * 3,
+                                  origin=(-1.0, -1.0, -1.0))
+        geom = Geometry("triangles", verts, faces=faces)
+        if "iso" in viz.scene._index:
+            viz.scene.set_geometry("iso", geom)
+        else:
+            viz.scene.add_node("iso", geom)
+
+    def simulation_loop():
+        while env.now < 20.0:
+            yield env.timeout(0.5)
+            sim.run(2)
+            refresh_scene()
+            yield from viz.render_and_stream()
+
+    env.process(simulation_loop())
+
+    # --- VizServer clients at two sites, sharing control ---------------------------
+    c0 = VizServerClient(net.host("ag-site-1"), "venue-server", 7010, "ag-site-1")
+    c1 = VizServerClient(net.host("ag-site-2"), "venue-server", 7010, "ag-site-2")
+
+    def viz_collaboration():
+        yield from c0.join()
+        yield from c1.join()
+        yield env.timeout(5.0)
+        cam = Camera(eye=np.array([0.0, -4.0, 1.0]))
+        ok = yield from c0.move_camera(cam)
+        print(f"[{env.now:6.2f}s] ag-site-1 moved the shared camera: {ok}")
+        yield from c0.pass_control("ag-site-2")
+        cam.orbit(0.8)
+        ok = yield from c1.move_camera(cam)
+        print(f"[{env.now:6.2f}s] control passed; ag-site-2 moved it: {ok}")
+
+    env.process(viz_collaboration())
+
+    # --- vnc-shared steering panel ----------------------------------------------
+    vnc = VncServer(net.host("ag-site-0"), 5900, width=96, height=64)
+    panel = {"g": sim.g}
+
+    def on_input(event):
+        if event.get("widget") == "g-slider":
+            panel["g"] = float(event["value"])
+            sim.set_parameter("g", panel["g"])
+            vnc.fb.color[:, : int(96 * panel["g"] / 4.5)] = (0, 180, 0)
+
+    vnc.on_input = on_input
+    vnc.start()
+
+    def remote_steerer():
+        client = VncClient(net.host("ag-site-3"), "ag-site-0", 5900)
+        yield from client.connect()
+        yield from client.request_update()
+        yield env.timeout(8.0)
+        ok = yield from client.send_input({"widget": "g-slider", "value": 1.0})
+        print(f"[{env.now:6.2f}s] ag-site-3 moved the vnc slider "
+              f"(ack={ok}); sim g is now {sim.g}")
+        fb = yield from client.request_update()
+        lit = (fb.color.sum(axis=2) > 0).mean()
+        print(f"[{env.now:6.2f}s] ag-site-3 sees the updated panel "
+              f"({lit:.0%} lit)")
+
+    env.process(remote_steerer())
+    env.run(until=25.0)
+    video.stop()
+    env.run(until=26.0)
+
+    # --- wrap-up -----------------------------------------------------------------
+    print("\n=== showcase wrap-up ===")
+    for name in site_names:
+        rx = nodes[name].video_receiver
+        print(f"{name:12s} video frames={rx.frames_received:4d} "
+              f"mean latency={rx.latency.mean * 1e3 if rx.frames_received else 0:5.1f}ms"
+              f"{'  (bridged)' if nodes[name].bridged else ''}")
+    c0.drain_frames()
+    c1.drain_frames()
+    print(f"VizServer frames: ag-site-1={c0.frames_received}, "
+          f"ag-site-2={c1.frames_received}, "
+          f"bytes streamed={viz.bytes_streamed}")
+    receivers = [nodes[n].video_receiver.frames_received
+                 for n in site_names if n != "ag-site-0"]
+    assert all(f > 300 for f in receivers), "every site should see the video"
+    assert c0.frames_received > 10 and c1.frames_received > 10
+    assert sim.g == 1.0, "the vnc steer should have reached the simulation"
+    print("Access Grid showcase OK.")
+
+
+if __name__ == "__main__":
+    main()

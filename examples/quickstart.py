@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: instrument a simulation, attach a steering client, steer.
+
+The minimal end-to-end use of the steering core (no network, no
+middleware): a Lattice-Boltzmann two-fluid mixture is instrumented with
+the steering API; a local client watches the monitored observables and
+slides the miscibility parameter mid-run — the essence of the paper's
+RealityGrid demo in ~50 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.net import SyncPipe
+from repro.sims import LatticeBoltzmann3D
+from repro.steering import SteeredApplication, SteeringClient
+
+
+def main() -> None:
+    # 1. The application: a two-fluid LB mixture, initially miscible.
+    sim = LatticeBoltzmann3D(shape=(10, 10, 10), g=0.5, seed=42)
+
+    # 2. Instrument it: parameters and observables are published
+    #    automatically from the simulation's steering surface.
+    app = SteeredApplication(sim, name="lb3d", sample_interval=10)
+    print("steerable parameters :", app.registry.names("steered"))
+    print("monitored observables:", app.registry.names("monitored"))
+
+    # 3. Attach a steering client over an in-memory duplex link.
+    pipe = SyncPipe()
+    app.attach_control(pipe.a)
+    client = SteeringClient(pipe.b, name="you")
+
+    # 4. Run; steer the miscibility after 30 steps and watch the fluid
+    #    demix (the structure change the SC'03 audience saw as moving
+    #    isosurfaces).
+    print("\n step |   g   | demix measure")
+    print("------+-------+--------------")
+    for step in range(1, 121):
+        if step == 30:
+            seq = client.set_parameter("g", 3.0)
+        app.step_once()
+        if step == 30:
+            client.drain()
+            ack = client.ack_for(seq)
+            print(f"  ... steered g -> 3.0 (ack: ok={ack.ok})")
+        if step % 10 == 0:
+            print(f" {step:4d} | {sim.g:5.2f} | {sim.demix_measure():.4f}")
+
+    assert sim.demix_measure() > 0.3, "the mixture should have demixed"
+    print("\nThe fluids phase-separated after the steer — quickstart OK.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Steering PEPC through UNICORE with the VISIT extension (paper section 3).
+
+The Juelich demonstration: a UNICORE job launches the PEPC plasma
+simulation on the HPC target (a particle beam striking a spherical
+plasma).  The simulation speaks ordinary VISIT to the proxy on its own
+host; two remote participants poll through the single-port gateway.  The
+first is master; mid-run the master role moves, and the new master
+re-aims the particle beam — the section 3.4 interactive re-alignment.
+
+Run:  python examples/unicore_pepc.py
+"""
+
+import numpy as np
+
+from repro.des import Environment
+from repro.net import Firewall, Network
+from repro.sims.pepc import PlasmaSim, beam_on_sphere_setup
+from repro.unicore import (
+    AbstractJobObject,
+    Certificate,
+    ExecuteTask,
+    Gateway,
+    JobStatus,
+    NetworkJobSupervisor,
+    StageOut,
+    TargetSystemInterface,
+    UnicoreClient,
+    UserIdentity,
+)
+from repro.unicore.security import TrustStore
+from repro.unicore.visit_ext import VisitProxyServer, VisitUnicorePlugin
+from repro.visit import VisitClient
+from repro.workloads import SUPERJANET, TRANSATLANTIC, link_with_profile
+
+GATEWAY_PORT = 4433
+PROXY_PORT = 5500
+TAG_PARTICLES, TAG_BEAM = 1, 2
+
+
+def main() -> None:
+    env = Environment()
+    net = Network(env)
+    net.add_host("juelich-hpc", firewall=Firewall.single_port(GATEWAY_PORT))
+    net.add_host("juelich-desk")
+    net.add_host("phoenix-ag")  # the SC'03 show floor node
+    link_with_profile(net, "juelich-desk", "juelich-hpc", SUPERJANET)
+    link_with_profile(net, "phoenix-ag", "juelich-hpc", TRANSATLANTIC)
+
+    # --- UNICORE tiers at the Juelich centre -----------------------------------
+    trust = TrustStore({"FZJ-CA"})
+    gateway = Gateway(net.host("juelich-hpc"), GATEWAY_PORT, trust=trust)
+    tsi = TargetSystemInterface(net.host("juelich-hpc"))
+    njs = NetworkJobSupervisor(net.host("juelich-hpc"), 9000, "JUELICH", tsi)
+    gateway.register_vsite("JUELICH", "juelich-hpc", 9000)
+    gateway.start()
+    njs.start()
+
+    # The modified TSI hosts the VISIT proxy (section 3.3).
+    proxy = VisitProxyServer(net.host("juelich-hpc"), PROXY_PORT, password="pw")
+    proxy.start()
+    tsi.visit_proxy = proxy
+
+    # --- PEPC as a UNICORE application -----------------------------------------
+    beam_redirects = []
+
+    def pepc_app(env_, host, args, uspace):
+        """The incarnated PEPC executable: steps the plasma and talks
+        ordinary VISIT to the local proxy — no UNICORE awareness at all."""
+        sim = PlasmaSim(
+            setup=beam_on_sphere_setup(n_plasma=args.get("n_plasma", 200),
+                                       n_beam=args.get("n_beam", 32), seed=5),
+            dt=0.01, theta=0.6, nranks=4,
+        )
+        visit = VisitClient(host, host.name, PROXY_PORT, "pw", name="pepc")
+        yield from visit.connect(timeout=1.0)
+        for step in range(args.get("steps", 60)):
+            yield env_.timeout(0.2)  # the parallel tree solve
+            sim.step()
+            yield from visit.send(TAG_PARTICLES, sim.sample())
+            ok, beam = yield from visit.request(TAG_BEAM, timeout=1.0)
+            if ok and beam is not None:
+                direction = np.asarray(beam["direction"], dtype=float)
+                if not np.allclose(direction, sim.beam_direction):
+                    sim.set_parameter("beam_direction", direction)
+                    beam_redirects.append((env_.now, step, tuple(direction)))
+        uspace.write("energy.dat",
+                     f"{sim.observables()['kinetic_energy']:.6f}\n".encode())
+        visit.close()
+
+    tsi.register_application("pepc", pepc_app)
+    njs.register_application("PEPC", "pepc")
+
+    # --- the job owner at Juelich ------------------------------------------------
+    john = UnicoreClient(
+        net.host("juelich-desk"),
+        UserIdentity(Certificate("CN=thomas", "FZJ-CA"), "thomas"),
+        "juelich-hpc", GATEWAY_PORT,
+    )
+    beam_panel = {"direction": [1.0, 0.0, 0.0]}
+
+    def owner():
+        yield from john.connect()
+        ajo = AbstractJobObject("pepc-demo", "JUELICH")
+        ajo.add_task(ExecuteTask("run", "PEPC",
+                                 arguments={"steps": 60, "n_plasma": 200},
+                                 steered=True))
+        ajo.add_task(StageOut("out", "energy.dat"), after=["run"])
+        job_id = yield from john.consign(ajo)
+        print(f"[{env.now:7.3f}s] job consigned through the gateway: {job_id}")
+
+        plugin = VisitUnicorePlugin(john, "JUELICH", "thomas",
+                                    poll_interval=0.4)
+        plugin.provide(TAG_BEAM, lambda: dict(beam_panel))
+        plugin.start()
+
+        # After a while, hand the master role to the Phoenix site.
+        yield env.timeout(6.0)
+        proxy.pass_master("phoenix")
+        print(f"[{env.now:7.3f}s] master role passed to phoenix")
+
+        status = yield from john.wait_for("JUELICH", job_id,
+                                          poll_interval=1.0, timeout=120.0)
+        data = yield from john.retrieve("JUELICH", job_id, "energy.dat")
+        print(f"[{env.now:7.3f}s] job {status.value}; staged-out "
+              f"energy.dat = {data.decode().strip()}")
+        plugin.stop()
+        return plugin
+
+    # --- the collaborating site in Phoenix ---------------------------------------
+    phoenix_panel = {"direction": [0.0, 1.0, 0.0]}  # they re-aim the beam
+
+    def phoenix():
+        client = UnicoreClient(
+            net.host("phoenix-ag"),
+            UserIdentity(Certificate("CN=phoenix", "FZJ-CA"), "phoenix"),
+            "juelich-hpc", GATEWAY_PORT,
+        )
+        yield from client.connect()
+        plugin = VisitUnicorePlugin(client, "JUELICH", "phoenix",
+                                    poll_interval=0.4)
+        plugin.provide(TAG_BEAM, lambda: dict(phoenix_panel))
+        plugin.start()
+        while len(plugin.received[TAG_PARTICLES]) < 55:
+            yield env.timeout(1.0)
+        plugin.stop()
+        return plugin
+
+    owner_proc = env.process(owner())
+    phoenix_proc = env.process(phoenix())
+    env.run(until=120.0)
+
+    owner_plugin = owner_proc.value
+    phoenix_plugin = phoenix_proc.value
+    print(f"\nSamples seen — thomas: {len(owner_plugin.received[TAG_PARTICLES])}, "
+          f"phoenix: {len(phoenix_plugin.received[TAG_PARTICLES])}")
+    sample = phoenix_plugin.received[TAG_PARTICLES][-1]
+    print(f"Last sample ships the full data-space: "
+          f"{sorted(sample.keys())}")
+    print(f"Beam redirected {len(beam_redirects)} time(s): "
+          f"{[r[2] for r in beam_redirects]}")
+    assert beam_redirects and beam_redirects[0][2] == (0.0, 1.0, 0.0), \
+        "the Phoenix master should have re-aimed the beam"
+    print("UNICORE + VISIT collaborative steering demo OK.")
+
+
+if __name__ == "__main__":
+    main()

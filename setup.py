@@ -1,0 +1,12 @@
+"""Compatibility shim for environments whose pip cannot build editable
+wheels (e.g. fully offline hosts without the ``wheel`` package).
+
+Prefer ``pip install -e .``.  As a last resort, an equivalent of the
+editable install is a .pth file pointing at ``src``::
+
+    echo "$(pwd)/src" > "$(python -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth"
+"""
+
+from setuptools import setup
+
+setup()

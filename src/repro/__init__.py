@@ -1,0 +1,47 @@
+"""repro: reproduction of "Application Steering in a Collaborative
+Environment" (Brooke, Eickermann, Woessner et al., SC2003).
+
+Subpackage map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.des` / :mod:`repro.net` / :mod:`repro.wire` -- the simulated
+  Grid fabric: discrete-event kernel, WAN topology, typed wire codec.
+* :mod:`repro.steering` -- the paper's core contribution: application
+  instrumentation, steering clients, collaborative sessions with
+  master-token roles, low-latency control-state server, migration.
+* :mod:`repro.visit` -- the VISIT toolkit (simulation-as-client,
+  timeout-bounded operations, vbroker multiplexer).
+* :mod:`repro.unicore` -- three-tier UNICORE middleware plus the VISIT
+  proxy extension that tunnels steering through the single gateway port.
+* :mod:`repro.ogsa` -- OGSI::Lite hosting environment, registry, the OGSA
+  steering and visualization services.
+* :mod:`repro.covise` -- data objects, request brokers, module networks,
+  collaborative parameter-synchronized sessions.
+* :mod:`repro.accessgrid` -- venues, media streams, vnc, VizServer.
+* :mod:`repro.sims` -- LB3D, PEPC, building climatization, crowd flow.
+* :mod:`repro.viz` -- isosurface/cutplane/glyph/volume extraction, a
+  software rasterizer, framebuffer delta/RLE compression.
+* :mod:`repro.parallel` -- SPMD runtime, SFC decomposition, collective
+  cost models.
+* :mod:`repro.workloads` -- 2003-era network profiles, feedback-loop cost
+  models, canned multi-site scenarios.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "des",
+    "net",
+    "wire",
+    "steering",
+    "visit",
+    "unicore",
+    "ogsa",
+    "covise",
+    "accessgrid",
+    "sims",
+    "viz",
+    "parallel",
+    "workloads",
+    "util",
+    "errors",
+]

@@ -1,0 +1,190 @@
+"""OpenGL VizServer-style remote rendering with session sharing.
+
+Section 2.4: "The datasets which are being rendered as isosurfaces are
+too large to be visualized on a laptop client.  VizServer allows the
+output of the graphics pipes from an Onyx visual supercomputer to be
+accessed remotely.  In addition this greatly reduces network traffic
+since only compressed bitmaps need to be sent...  [VizServer] allows
+multiple users to share the same login session on a remote machine."
+
+Model: the session owns a server-side renderer and scene (geometry stays
+on the visualization host).  Each attached client receives compressed
+delta frames; any client holding the *control token* may move the shared
+camera — "Participating sites able to run OpenGL VizServer will be able
+to share control of the visualization".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ChannelClosed, VenueError
+from repro.viz import Camera, Renderer
+from repro.viz.compress import compress_frame
+from repro.viz.framebuffer import FrameBuffer
+from repro.viz.scene import SceneGraph
+
+#: per-frame render cost model of the visual supercomputer (s per triangle
+#: plus fixed pipeline overhead) — era-plausible numbers.
+RENDER_FIXED = 0.012
+RENDER_PER_TRI = 1.5e-6
+
+
+class VizServerSession:
+    """One shared login session on the visualization supercomputer."""
+
+    def __init__(self, host, port: int, width: int = 320, height: int = 240) -> None:
+        self.host = host
+        self.port = port
+        self.renderer = Renderer(width, height)
+        self.scene = SceneGraph()
+        self._clients: dict[str, object] = {}  # site name -> connection
+        self._last_frames: dict[str, Optional[FrameBuffer]] = {}
+        self.control_holder: Optional[str] = None
+        self.frames_streamed = 0
+        self.bytes_streamed = 0
+
+    def start(self) -> None:
+        listener = self.host.listen(self.port)
+        env = self.host.env
+
+        def accept_loop():
+            while True:
+                conn = yield from listener.accept()
+                env.process(self._serve(conn))
+
+        env.process(accept_loop())
+
+    def _serve(self, conn):
+        site: Optional[str] = None
+        while True:
+            try:
+                msg = yield from conn.recv(timeout=None)
+            except ChannelClosed:
+                if site is not None:
+                    self._clients.pop(site, None)
+                    self._last_frames.pop(site, None)
+                    if self.control_holder == site:
+                        self.control_holder = next(iter(self._clients), None)
+                return
+            if not isinstance(msg, dict):
+                continue
+            op = msg.get("op")
+            if op == "join":
+                site = msg.get("site", f"anon-{id(conn)}")
+                self._clients[site] = conn
+                self._last_frames[site] = None
+                if self.control_holder is None:
+                    self.control_holder = site
+                conn.send({"op": "joined", "control": self.control_holder == site})
+            elif op == "move_camera":
+                if site != self.control_holder:
+                    conn.send({"op": "denied",
+                               "error": f"control held by {self.control_holder!r}"})
+                    continue
+                state = msg.get("state", {})
+                self.renderer.camera.apply_state(
+                    {k: np.asarray(v) if isinstance(v, list) else v
+                     for k, v in state.items()}
+                )
+                conn.send({"op": "camera_ok"})
+            elif op == "pass_control":
+                if site != self.control_holder:
+                    conn.send({"op": "denied", "error": "not holding control"})
+                    continue
+                target = msg.get("to")
+                if target not in self._clients:
+                    conn.send({"op": "denied", "error": f"unknown site {target!r}"})
+                    continue
+                self.control_holder = target
+                conn.send({"op": "control_passed"})
+
+    # -- server-side rendering + streaming -----------------------------------------
+
+    def render_and_stream(self):
+        """Generator: render the scene once and push a frame to every
+        client (delta-compressed per client)."""
+        env = self.host.env
+        self.renderer.clear()
+        self.scene.render_into(self.renderer)
+        ntris = self.renderer.primitives_drawn
+        yield env.timeout(RENDER_FIXED + RENDER_PER_TRI * ntris)
+        frame = self.renderer.fb
+        for site, conn in list(self._clients.items()):
+            blob = compress_frame(frame, previous=self._last_frames.get(site))
+            self._last_frames[site] = frame.copy()
+            try:
+                conn.send({"op": "frame", "data": blob}, size=len(blob) + 64)
+            except ChannelClosed:
+                continue
+            self.frames_streamed += 1
+            self.bytes_streamed += len(blob)
+        return ntris
+
+
+class VizServerClient:
+    """A site attached to a shared VizServer session."""
+
+    def __init__(self, host, server_host: str, port: int, site: str,
+                 timeout: float = 10.0) -> None:
+        self.host = host
+        self.server_host = server_host
+        self.port = port
+        self.site = site
+        self.timeout = timeout
+        self._conn = None
+        self.frames_received = 0
+        self.has_control = False
+
+    def join(self):
+        self._conn = yield from self.host.connect(
+            self.server_host, self.port, timeout=self.timeout
+        )
+        self._conn.send({"op": "join", "site": self.site}, size=128)
+        reply = yield from self._recv_op({"joined"})
+        self.has_control = bool(reply.get("control"))
+        return True
+
+    def _recv_op(self, ops: set):
+        """Generator: next control reply, buffering frames seen meanwhile."""
+        while True:
+            reply = yield from self._conn.recv(timeout=self.timeout)
+            if isinstance(reply, dict) and reply.get("op") == "frame":
+                self.frames_received += 1
+                continue
+            if isinstance(reply, dict) and (reply.get("op") in ops or
+                                            reply.get("op") == "denied"):
+                return reply
+
+    def move_camera(self, camera: Camera):
+        """Generator -> bool: steer the shared view (needs control)."""
+        if self._conn is None:
+            raise VenueError("not joined")
+        state = {k: (v.tolist() if hasattr(v, "tolist") else v)
+                 for k, v in camera.state().items()}
+        self._conn.send({"op": "move_camera", "state": state}, size=256)
+        reply = yield from self._recv_op({"camera_ok"})
+        return reply.get("op") == "camera_ok"
+
+    def pass_control(self, to_site: str):
+        if self._conn is None:
+            raise VenueError("not joined")
+        self._conn.send({"op": "pass_control", "to": to_site}, size=128)
+        reply = yield from self._recv_op({"control_passed"})
+        ok = reply.get("op") == "control_passed"
+        if ok:
+            self.has_control = False
+        return ok
+
+    def drain_frames(self) -> int:
+        """Count frames already delivered (non-blocking)."""
+        if self._conn is None:
+            return 0
+        while True:
+            ok, msg = self._conn.try_recv()
+            if not ok:
+                return self.frames_received
+            if isinstance(msg, dict) and msg.get("op") == "frame":
+                self.frames_received += 1

@@ -1,0 +1,113 @@
+"""vnc-style shared desktop.
+
+"Sharing the steering client requires the use of vnc.  This is the active
+mode of participating" (section 2.4); the UNICORE client and AVS control
+panel are likewise "made available via vnc" (section 3.4).
+
+Model: the server owns a framebuffer (the shared desktop).  Clients pull
+updates (RFB-style framebuffer-update-request); the server answers with a
+full frame first, then deltas against each client's last-acknowledged
+frame.  Clients may send input events, which the server applies through a
+host-side handler — that is how a remote collaborator drives the steering
+GUI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ChannelClosed, TimeoutExpired, VenueError
+from repro.viz.compress import compress_frame, decompress_frame
+from repro.viz.framebuffer import FrameBuffer
+
+
+class VncServer:
+    """Shares one framebuffer with many clients."""
+
+    def __init__(self, host, port: int, width: int = 320, height: int = 240) -> None:
+        self.host = host
+        self.port = port
+        self.fb = FrameBuffer(width, height)
+        #: called with each input event dict from any client
+        self.on_input: Optional[Callable[[dict], None]] = None
+        self.updates_served = 0
+        self.input_events = 0
+        self.bytes_served = 0
+
+    def start(self) -> None:
+        listener = self.host.listen(self.port)
+        env = self.host.env
+
+        def accept_loop():
+            while True:
+                conn = yield from listener.accept()
+                env.process(self._serve(conn))
+
+        env.process(accept_loop())
+
+    def _serve(self, conn):
+        last_sent: Optional[FrameBuffer] = None
+        while True:
+            try:
+                msg = yield from conn.recv(timeout=None)
+            except ChannelClosed:
+                return
+            if not isinstance(msg, dict):
+                continue
+            if msg.get("op") == "update_request":
+                blob = compress_frame(self.fb, previous=last_sent)
+                last_sent = self.fb.copy()
+                self.updates_served += 1
+                self.bytes_served += len(blob)
+                conn.send({"op": "update", "frame": blob}, size=len(blob) + 64)
+            elif msg.get("op") == "input":
+                self.input_events += 1
+                if self.on_input is not None:
+                    self.on_input(msg.get("event", {}))
+                conn.send({"op": "input_ack"})
+
+
+class VncClient:
+    """One remote viewer/controller of a shared desktop."""
+
+    def __init__(self, host, server_host: str, port: int,
+                 timeout: float = 10.0) -> None:
+        self.host = host
+        self.server_host = server_host
+        self.port = port
+        self.timeout = timeout
+        self._conn = None
+        self.local_fb: Optional[FrameBuffer] = None
+        self._last: Optional[FrameBuffer] = None
+        self.updates = 0
+
+    def connect(self):
+        self._conn = yield from self.host.connect(
+            self.server_host, self.port, timeout=self.timeout
+        )
+        return True
+
+    def request_update(self):
+        """Generator -> the refreshed local framebuffer."""
+        if self._conn is None:
+            raise VenueError("vnc client is not connected")
+        self._conn.send({"op": "update_request"}, size=64)
+        reply = yield from self._conn.recv(timeout=self.timeout)
+        fb = decompress_frame(reply["frame"], previous=self._last)
+        self._last = fb.copy()
+        self.local_fb = fb
+        self.updates += 1
+        return fb
+
+    def send_input(self, event: dict):
+        """Generator: deliver an input event (remote collaborator acting)."""
+        if self._conn is None:
+            raise VenueError("vnc client is not connected")
+        self._conn.send({"op": "input", "event": dict(event)}, size=128)
+        reply = yield from self._conn.recv(timeout=self.timeout)
+        return reply.get("op") == "input_ack"
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

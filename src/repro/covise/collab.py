@@ -1,0 +1,201 @@
+"""Collaborative COVISE sessions: parameter-sync vs content-streaming.
+
+Section 4.5: "In a collaborative session all partners see the same screen
+representations at the same time on their local workstation."  Section
+4.3 explains *how* that is affordable: "such scene update rates are only
+possible if the generation of the new content is done locally and only
+synchronisation information such as the parameter set for the cutting
+plane determination is exchanged"; section 4.6 adds that this "allows a
+much better scaling in the handling of large volumes of scene content".
+
+:class:`CollaborativeCovise` replicates one map on every site and
+implements both strategies so the S43/FIG4 benches can measure the
+trade-off:
+
+* ``parameter`` — the master broadcasts the changed parameter (a few
+  hundred bytes); every site re-executes its local pipeline;
+* ``content`` — the master re-executes once and streams the resulting
+  data object to every site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.covise.dataobj import ImageData, PolygonData, ScalarField2D
+from repro.covise.mapeditor import MapEditor
+from repro.errors import CoviseError
+
+#: wire size of one parameter-change message
+PARAM_MSG_BYTES = 256
+
+
+def _content_digest(obj) -> str:
+    h = hashlib.sha1()
+    if isinstance(obj, ScalarField2D):
+        h.update(obj.values.tobytes())
+    elif isinstance(obj, ImageData):
+        h.update(obj.pixels.tobytes())
+    elif isinstance(obj, PolygonData):
+        h.update(obj.vertices.tobytes())
+        h.update(obj.faces.tobytes())
+    else:
+        raise CoviseError(f"cannot digest {type(obj).__name__}")
+    return h.hexdigest()
+
+
+@dataclass
+class SiteState:
+    name: str
+    host: str
+    editor: MapEditor
+    updates_done: int = 0
+    last_done_at: float = 0.0
+    last_digest: str = ""
+    bytes_received: int = 0
+
+
+class CollaborativeCovise:
+    """One shared map replicated across N sites."""
+
+    def __init__(
+        self,
+        network,
+        map_spec: list[dict],
+        sites: dict[str, str],
+        sources: dict[str, dict[str, Callable]],
+        watch: tuple[str, str] = ("cut", "plane"),
+        master: str | None = None,
+    ) -> None:
+        if not sites:
+            raise CoviseError("need at least one site")
+        self.network = network
+        self.watch = watch
+        self.sites: dict[str, SiteState] = {}
+        for name, host in sites.items():
+            editor = MapEditor.replicate(
+                network, map_spec, host, sources.get(name, {})
+            )
+            self.sites[name] = SiteState(name, host, editor)
+        self.master = master or next(iter(self.sites))
+        if self.master not in self.sites:
+            raise CoviseError(f"master {self.master!r} is not a site")
+
+    # -- execution ---------------------------------------------------------------
+
+    def _site_execute(self, site: SiteState):
+        env = self.network.env
+        yield from site.editor.controller.execute()
+        obj = site.editor.controller.output_object(*self.watch)
+        site.last_digest = _content_digest(obj)
+        site.last_done_at = env.now
+        site.updates_done += 1
+
+    def execute_all(self):
+        """Generator: run every site's pipeline concurrently; resolves to
+        the per-site completion times."""
+        env = self.network.env
+        procs = [
+            env.process(self._site_execute(site)) for site in self.sites.values()
+        ]
+        yield env.all_of(procs)
+        return {s.name: s.last_done_at for s in self.sites.values()}
+
+    # -- the two synchronization strategies -------------------------------------------
+
+    def change_parameter(self, module: str, key: str, value: Any,
+                         mode: str = "parameter"):
+        """Generator: apply one exploration step session-wide.
+
+        Resolves to a report: per-site completion times, skew (the
+        "multiple frames difference ... might lead to misunderstanding"
+        quantity of section 4.2), and WAN bytes spent.
+        """
+        if mode == "parameter":
+            result = yield from self._change_parameter_sync(module, key, value)
+        elif mode == "content":
+            result = yield from self._change_content_stream(module, key, value)
+        else:
+            raise CoviseError(f"mode must be parameter/content, got {mode!r}")
+        done = {s.name: s.last_done_at for s in self.sites.values()}
+        times = list(done.values())
+        result.update(
+            {
+                "per_site_done": done,
+                "skew": max(times) - min(times),
+                "digests_agree": len({s.last_digest for s in self.sites.values()})
+                == 1,
+            }
+        )
+        return result
+
+    def _change_parameter_sync(self, module: str, key: str, value: Any):
+        env = self.network.env
+        master = self.sites[self.master]
+        wan_bytes = 0
+        procs = []
+        for site in self.sites.values():
+            if site.name == self.master:
+                delay = 0.0
+            else:
+                link = self.network.link(master.host, site.host)
+                deliver_at = link.reserve(PARAM_MSG_BYTES, env.now)
+                delay = max(0.0, deliver_at - env.now)
+                wan_bytes += PARAM_MSG_BYTES
+                site.bytes_received += PARAM_MSG_BYTES
+            procs.append(env.process(self._apply_and_run(site, module, key,
+                                                         value, delay)))
+        yield env.all_of(procs)
+        return {"mode": "parameter", "wan_bytes": wan_bytes}
+
+    def _apply_and_run(self, site: SiteState, module: str, key: str,
+                       value: Any, delay: float):
+        env = self.network.env
+        if delay > 0:
+            yield env.timeout(delay)
+        site.editor.controller._module(module).set_param(key, value)
+        yield from self._site_execute(site)
+
+    def _change_content_stream(self, module: str, key: str, value: Any):
+        env = self.network.env
+        master = self.sites[self.master]
+        master.editor.controller._module(module).set_param(key, value)
+        yield from self._site_execute(master)
+        obj = master.editor.controller.output_object(*self.watch)
+        wan_bytes = 0
+        procs = []
+        # The master has ONE uplink: per-receiver copies serialize on it
+        # before each propagates over its own path.  This is exactly why
+        # content streaming "does degrade with the volume of displayed
+        # geometric data" while parameter sync does not (section 4.6).
+        send_free = env.now
+        for site in self.sites.values():
+            if site.name == self.master:
+                continue
+            link = self.network.link(master.host, site.host)
+            serialize = obj.nbytes / link.bandwidth
+            send_free = max(send_free, env.now) + serialize
+            link.bytes_carried += obj.nbytes
+            link.transfers += 1
+            deliver_at = send_free + link.latency
+            wan_bytes += obj.nbytes
+            site.bytes_received += obj.nbytes
+            procs.append(
+                env.process(
+                    self._display_content(site, obj,
+                                          max(0.0, deliver_at - env.now))
+                )
+            )
+        if procs:
+            yield env.all_of(procs)
+        return {"mode": "content", "wan_bytes": wan_bytes}
+
+    def _display_content(self, site: SiteState, obj, delay: float):
+        env = self.network.env
+        yield env.timeout(delay)
+        yield env.timeout(0.002)  # local display update
+        site.last_digest = _content_digest(obj)
+        site.last_done_at = env.now
+        site.updates_done += 1

@@ -1,0 +1,71 @@
+"""Module base class for COVISE pipelines.
+
+"Distributed applications can be built by combining modules (modeled as
+processes) from different application categories on different hosts to
+form module networks" (section 4.5).  A module declares input/output
+ports and parameters; ``run`` maps input data objects to output data
+objects; ``cost`` is its virtual compute time (used by the controller so
+feedback-loop latencies are measurable).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.covise.dataobj import DataObject
+from repro.errors import CoviseError
+
+
+class PipelineError(CoviseError):
+    """Bad wiring or a module contract violation."""
+
+
+class Module:
+    """One processing step in a module network."""
+
+    #: port declarations; subclasses override
+    INPUT_PORTS: tuple = ()
+    OUTPUT_PORTS: tuple = ()
+    #: default parameters
+    PARAMS: dict = {}
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.params: dict[str, Any] = dict(self.PARAMS)
+        self.executions = 0
+
+    def set_param(self, key: str, value: Any) -> None:
+        if key not in self.params:
+            raise PipelineError(f"module {self.name!r} has no parameter {key!r}")
+        self.params[key] = value
+
+    def run(self, inputs: dict[str, DataObject], sds) -> dict[str, DataObject]:
+        """Produce outputs from inputs; must cover all OUTPUT_PORTS.
+
+        ``sds`` is the local shared data space, used for unique names.
+        """
+        raise NotImplementedError
+
+    def cost(self, inputs: dict[str, DataObject]) -> float:
+        """Virtual compute seconds; default scales mildly with input size."""
+        total = sum(obj.nbytes for obj in inputs.values())
+        return 0.001 + total * 2e-9
+
+    def execute(self, inputs: dict[str, DataObject], sds) -> dict[str, DataObject]:
+        """Validated wrapper around :meth:`run`."""
+        for port in self.INPUT_PORTS:
+            if port not in inputs:
+                raise PipelineError(
+                    f"module {self.name!r} missing input port {port!r}"
+                )
+        outputs = self.run(inputs, sds)
+        for port in self.OUTPUT_PORTS:
+            if port not in outputs:
+                raise PipelineError(
+                    f"module {self.name!r} produced no output for port {port!r}"
+                )
+        self.executions += 1
+        return outputs
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

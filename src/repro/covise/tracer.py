@@ -1,0 +1,158 @@
+"""Particle tracer: streamlines through a vector field.
+
+The COVISE application categories (section 4.5) come from CFD
+post-processing with the aeronautics/automotive industry; the tracer —
+streamlines seeded into the flow — is the classic exploration tool, and
+for the Car-Show building demo it shows where the ventilation actually
+carries the air.
+
+Integration: :class:`VectorField3D` is the data object,
+:class:`TracerModule` the pipeline module; streamlines come out as a
+:class:`~repro.covise.dataobj.DataObject` holding polyline vertices ready
+for the renderer's line path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.covise.dataobj import DataObject
+from repro.covise.modules import Module, PipelineError
+from repro.errors import CoviseError
+from repro.viz.cutplane import trilinear_sample
+
+
+class VectorField3D(DataObject):
+    """A 3-component vector field on a uniform grid: ``field`` is
+    ``(3, X, Y, Z)``."""
+
+    def __init__(self, name: str, field: np.ndarray) -> None:
+        super().__init__(name)
+        field = np.asarray(field, dtype=np.float64)
+        if field.ndim != 4 or field.shape[0] != 3:
+            raise CoviseError("VectorField3D needs a (3, X, Y, Z) array")
+        self.field = field
+
+    @property
+    def nbytes(self) -> int:
+        return self.field.nbytes
+
+    @property
+    def grid_shape(self) -> tuple:
+        return self.field.shape[1:]
+
+
+class LinesData(DataObject):
+    """Polylines: ``points (N, 3)`` + ``offsets`` delimiting each line."""
+
+    def __init__(self, name: str, points: np.ndarray, offsets: np.ndarray) -> None:
+        super().__init__(name)
+        self.points = np.asarray(points, dtype=np.float64)
+        self.offsets = np.asarray(offsets, dtype=np.intp)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise CoviseError("points must be (N, 3)")
+        if len(self.offsets) < 2 or self.offsets[0] != 0 or \
+                self.offsets[-1] != len(self.points):
+            raise CoviseError("offsets must start at 0 and end at len(points)")
+
+    @property
+    def nbytes(self) -> int:
+        return self.points.nbytes + self.offsets.nbytes
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.offsets) - 1
+
+    def line(self, i: int) -> np.ndarray:
+        if not 0 <= i < self.n_lines:
+            raise CoviseError(f"no line {i}")
+        return self.points[self.offsets[i]: self.offsets[i + 1]]
+
+
+def trace_streamlines(
+    field: np.ndarray,
+    seeds: np.ndarray,
+    step: float = 0.5,
+    max_steps: int = 200,
+    min_speed: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """RK2 (midpoint) streamline integration in grid-index space.
+
+    ``field`` is ``(3, X, Y, Z)``; ``seeds`` is ``(S, 3)`` in index
+    coordinates.  Lines stop on leaving the grid, after ``max_steps``, or
+    in stagnant flow.  All seeds advance together (vectorized); finished
+    lines are masked out.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 4 or field.shape[0] != 3:
+        raise CoviseError("field must be (3, X, Y, Z)")
+    seeds = np.atleast_2d(np.asarray(seeds, dtype=np.float64))
+    shape = np.array(field.shape[1:], dtype=np.float64)
+    n = len(seeds)
+    alive = np.ones(n, dtype=bool)
+    pos = seeds.copy()
+    trails: list[list[np.ndarray]] = [[seeds[i].copy()] for i in range(n)]
+
+    def velocity(points: np.ndarray) -> np.ndarray:
+        out = np.empty_like(points)
+        for a in range(3):
+            out[:, a] = trilinear_sample(field[a], points)
+        return out
+
+    for _ in range(max_steps):
+        if not alive.any():
+            break
+        v1 = velocity(pos)
+        speed = np.linalg.norm(v1, axis=1)
+        stagnant = speed < min_speed
+        alive &= ~stagnant
+        if not alive.any():
+            break
+        mid = pos + 0.5 * step * v1
+        v2 = velocity(mid)
+        new_pos = pos + step * v2
+        inside = np.all((new_pos >= 0.0) & (new_pos <= shape - 1.0), axis=1)
+        for i in np.flatnonzero(alive & inside):
+            trails[i].append(new_pos[i].copy())
+        alive &= inside
+        pos = np.where(alive[:, None], new_pos, pos)
+
+    points = []
+    offsets = [0]
+    for trail in trails:
+        points.extend(trail)
+        offsets.append(offsets[-1] + len(trail))
+    return np.asarray(points), np.asarray(offsets, dtype=np.intp)
+
+
+class TracerModule(Module):
+    """COVISE module wrapping :func:`trace_streamlines`."""
+
+    INPUT_PORTS = ("velocity",)
+    OUTPUT_PORTS = ("lines",)
+    PARAMS = {"seeds": None, "step": 0.5, "max_steps": 200}
+
+    def run(self, inputs, sds):
+        vel = inputs["velocity"]
+        if not isinstance(vel, VectorField3D):
+            raise PipelineError(f"{self.name!r}: input must be a VectorField3D")
+        seeds = self.params["seeds"]
+        if seeds is None:
+            # Default: a seed rake across the inlet face.
+            _, ny, nz = vel.grid_shape
+            ys = np.linspace(1, ny - 2, 4)
+            zs = np.linspace(1, nz - 2, 3)
+            gy, gz = np.meshgrid(ys, zs, indexing="ij")
+            seeds = np.stack(
+                [np.ones(gy.size), gy.ravel(), gz.ravel()], axis=1
+            )
+        points, offsets = trace_streamlines(
+            vel.field, np.asarray(seeds, dtype=np.float64),
+            step=float(self.params["step"]),
+            max_steps=int(self.params["max_steps"]),
+        )
+        return {"lines": LinesData(sds.unique_name("streamlines"),
+                                   points, offsets)}
+
+    def cost(self, inputs) -> float:
+        return 0.004 + int(self.params["max_steps"]) * 2e-5

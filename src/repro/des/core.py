@@ -1,0 +1,364 @@
+"""Core of the discrete-event kernel: events, processes, the environment.
+
+Design notes
+------------
+* An :class:`Event` has three phases: *pending* (created), *triggered*
+  (given a value/exception and queued), *processed* (callbacks ran).
+* A :class:`Process` wraps a generator.  The generator yields events; when
+  a yielded event is processed the process resumes with the event's value,
+  or has the event's exception thrown into it.
+* Time only advances in :meth:`Environment.run`; scheduling is a binary
+  heap keyed by ``(time, priority, sequence)`` so same-time events fire in
+  FIFO order — this determinism is load-bearing for tests.
+* Failed events must be consumed.  If a failed event is processed and no
+  waiter "defused" it, the exception propagates out of ``run()`` — silent
+  failure of a simulated component would otherwise be invisible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+_PENDING = object()
+
+#: Priority for events that must fire before normal ones at the same time
+#: (process initialization, interrupts).
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """An occurrence at a point in virtual time, with callbacks.
+
+    Callbacks are functions ``cb(event)``; they run when the environment
+    processes the event.  After processing, ``callbacks`` is ``None`` and
+    further ``succeed``/``fail`` calls are errors.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: set when a waiter took responsibility for a failure
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self, NORMAL)
+        return self
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if not self.triggered
+            else ("processed" if self.processed else "triggered")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Urgent event used internally to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._enqueue(self, URGENT)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class _InterruptEvent(Event):
+    """Urgent failed event carrying an Interrupt into the target process."""
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
+        super().__init__(env)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self.defused = True
+        self.callbacks.append(process._resume)
+        env._enqueue(self, URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers when it finishes.
+
+    The process event succeeds with the generator's return value, or fails
+    with its uncaught exception (which propagates out of ``run()`` unless
+    some other process is waiting on it).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process target {generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        _InterruptEvent(self.env, self, cause)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waiter (this process) takes responsibility.
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self.env._active_process = None
+                err = SimulationError(
+                    f"process yielded non-event {next_event!r}; yield "
+                    "env.timeout(...), store.get(), or another event"
+                )
+                self.fail(err)
+                return
+
+            if next_event.callbacks is not None:
+                # Not yet processed: park until it is.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: consume its value immediately and keep
+            # driving the generator without returning to the scheduler.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Composite event over several sub-events (base for AnyOf/AllOf).
+
+    Succeeds with an ordered dict ``{event: value}`` of the sub-events that
+    had triggered OK by the time the condition was decided.  If any
+    sub-event fails before the condition is decided, the condition fails
+    with that exception.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _evaluate(self, n_triggered: int) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok and not event.defused:
+                # Condition already decided; don't swallow the failure.
+                event.defused = True
+                self.env._pending_failures.append(event._value)
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        # Only events that have actually been *processed* count; a Timeout
+        # carries its value from creation, so `triggered` would wrongly
+        # include timers that have not fired yet.
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one sub-event triggers (the VISIT timeout race)."""
+
+    def _evaluate(self, n_triggered: int) -> bool:
+        return n_triggered >= 1
+
+
+class AllOf(Condition):
+    """Triggers once every sub-event has triggered."""
+
+    def _evaluate(self, n_triggered: int) -> bool:
+        return n_triggered >= len(self.events)
+
+
+class Environment:
+    """Owner of virtual time and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self.now = float(initial_time)
+        self._heap: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._pending_failures: list[BaseException] = []
+
+    # -- scheduling ----------------------------------------------------
+
+    def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    # -- event factories -----------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event.defused:
+            raise event._value
+        if self._pending_failures:
+            exc = self._pending_failures.pop(0)
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the schedule drains, a deadline, or an event triggers.
+
+        ``until`` may be:
+          * ``None`` — run until no events remain;
+          * a number — run until virtual time reaches it;
+          * an :class:`Event` — run until it triggers, returning its value.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.triggered:
+                if not self._heap:
+                    raise SimulationError(
+                        "schedule drained before the awaited event triggered"
+                    )
+                self.step()
+            if not stop._ok:
+                stop.defused = True
+                raise stop._value
+            return stop._value
+
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self.now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self.now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self.now = deadline
+        return None
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process

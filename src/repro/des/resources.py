@@ -1,0 +1,166 @@
+"""Shared-resource primitives for the DES kernel: stores and resources.
+
+:class:`Store` is the workhorse — every simulated mailbox, socket buffer
+and job queue is a store.  :class:`Resource` models mutually exclusive
+capacity (CPU slots on a simulated host, graphics pipes on the viz engine).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Optional
+
+from repro.des.core import Environment, Event
+from repro.errors import SimulationError
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class Store:
+    """FIFO item buffer with optional capacity.
+
+    ``put(item)`` and ``get()`` return events; processes yield them.  With
+    infinite capacity (the default) puts succeed immediately, which is the
+    common case for message mailboxes.
+    """
+
+    def __init__(self, env: Environment, capacity: float = math.inf) -> None:
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._put_waiters: deque[StorePut] = deque()
+        self._get_waiters: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        ev = StorePut(self, item)
+        self._put_waiters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        ev = StoreGet(self)
+        self._get_waiters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        # Admit queued puts while there is room.
+        while self._put_waiters and len(self.items) < self.capacity:
+            put = self._put_waiters.popleft()
+            self.items.append(put.item)
+            put.succeed()
+        # Serve queued gets while items are available.
+        while self._get_waiters and self.items:
+            get = self._get_waiters.popleft()
+            get.succeed(self.items.popleft())
+            # A completed get may free room for a parked put.
+            while self._put_waiters and len(self.items) < self.capacity:
+                put = self._put_waiters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-suspending get: ``(True, item)`` or ``(False, None)``.
+
+        Used by poll-style protocols (the VISIT simulation side must never
+        block; it polls its mailbox and walks away if nothing is there).
+        """
+        if self.items:
+            item = self.items.popleft()
+            self._dispatch()
+            return True, item
+        return False, None
+
+
+class ResourceRequest(Event):
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        self.resource._release(self)
+
+
+class Resource:
+    """Counting resource with FIFO queuing (e.g. CPU slots, render pipes)."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[ResourceRequest] = []
+        self._queue: deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        return len(self.users)
+
+    def request(self) -> ResourceRequest:
+        req = ResourceRequest(self)
+        self._queue.append(req)
+        self._dispatch()
+        return req
+
+    def _release(self, req: ResourceRequest) -> None:
+        if req._released:
+            raise SimulationError("double release of resource request")
+        req._released = True
+        if req in self.users:
+            self.users.remove(req)
+        else:
+            # Releasing a queued (never-granted) request cancels it.
+            try:
+                self._queue.remove(req)
+            except ValueError:
+                raise SimulationError("release of unknown resource request") from None
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            req = self._queue.popleft()
+            self.users.append(req)
+            req.succeed(req)
+
+
+class Mailbox(Store):
+    """A store with a convenience bounded-wait receive.
+
+    ``recv(timeout)`` returns a generator suitable for ``yield from`` that
+    resolves to ``(ok, item)`` — the pattern used throughout the simulated
+    middleware to honour VISIT's everything-has-a-timeout rule.
+    """
+
+    def recv(self, timeout: Optional[float] = None):
+        get = self.get()
+        if timeout is None:
+            item = yield get
+            return True, item
+        race = self.env.any_of([get, self.env.timeout(timeout)])
+        results = yield race
+        if get in results:
+            return True, results[get]
+        # Timed out: withdraw the pending get so the item is not lost to a
+        # dead waiter when it eventually arrives.
+        if get in self._get_waiters:
+            self._get_waiters.remove(get)
+        elif get.triggered:
+            # Raced: the item arrived in the same instant the timer fired.
+            return True, get.value
+        return False, None

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch package failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation kernel invariant was violated."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class ConnectionRefused(NetworkError):
+    """The destination host exists but nothing is listening on the port."""
+
+
+class FirewallBlocked(NetworkError):
+    """A firewall or NAT rule rejected the connection attempt."""
+
+
+class HostUnreachable(NetworkError):
+    """No route exists between the two hosts."""
+
+
+class ChannelClosed(NetworkError):
+    """Operation on a connection that has been closed by either end."""
+
+
+class TimeoutExpired(ReproError):
+    """A bounded operation did not complete within its deadline.
+
+    VISIT semantics (paper section 3.2) guarantee that every operation
+    initiated by the simulation completes *or fails* within a user-supplied
+    timeout; this is the failure signal.
+    """
+
+
+class CodecError(ReproError):
+    """Malformed wire data or an unsupported type reached the codec."""
+
+
+class ProtocolError(ReproError):
+    """A peer violated the message protocol (bad magic, bad sequence...)."""
+
+
+class AuthenticationError(ReproError):
+    """Password / certificate / token verification failed."""
+
+
+class VisitError(ReproError):
+    """VISIT toolkit error that is not a timeout or codec problem."""
+
+
+class NotMaster(VisitError):
+    """A non-master collaborator attempted to steer through the vbroker."""
+
+
+class UnicoreError(ReproError):
+    """UNICORE middleware failure (job rejected, consignment failed...)."""
+
+
+class IncarnationError(UnicoreError):
+    """The NJS could not translate an AJO task for the target system."""
+
+
+class OgsaError(ReproError):
+    """Grid-service container or service-level failure."""
+
+
+class ServiceNotFound(OgsaError):
+    """Registry lookup or handle resolution found no matching service."""
+
+
+class SteeringError(ReproError):
+    """Steering-core failure (unknown parameter, bad command, role abuse)."""
+
+
+class CoviseError(ReproError):
+    """COVISE substrate failure (bad module wiring, missing data object)."""
+
+
+class VenueError(ReproError):
+    """Access-Grid venue server failure."""

@@ -1,0 +1,226 @@
+"""TCP-like connections over the simulated network.
+
+A :class:`Connection` is a reliable, ordered, message-preserving duplex
+channel.  ``send`` is asynchronous (the sending process is not delayed —
+buffering is free, as in TCP with ample socket buffers); delivery time is
+governed by the directed :class:`~repro.net.network.Link` between the two
+hosts.  ``recv`` is a bounded-wait generator, honouring the everything-
+has-a-timeout discipline that VISIT imposes on simulation-side code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.des.resources import Mailbox
+from repro.errors import (
+    ChannelClosed,
+    ConnectionRefused,
+    FirewallBlocked,
+    TimeoutExpired,
+)
+from repro.wire.codec import approx_size
+
+
+class Packet:
+    """A payload plus its wire size.
+
+    Middleware messages are Python objects; their simulated size is either
+    supplied explicitly (cost-model numbers) or estimated by the codec's
+    :func:`~repro.wire.codec.approx_size` (exact for codec types, a
+    reasonable envelope for dataclass messages).
+    """
+
+    __slots__ = ("payload", "size")
+
+    def __init__(self, payload: Any, size: Optional[int] = None) -> None:
+        self.payload = payload
+        if size is None:
+            if isinstance(payload, (bytes, bytearray, memoryview)):
+                size = len(payload)
+            else:
+                size = approx_size(payload)
+        self.size = int(size)
+
+    def __repr__(self) -> str:
+        return f"Packet({self.payload!r:.40}, size={self.size})"
+
+
+class _Closed:
+    """Sentinel queued onto a mailbox when the peer closes."""
+
+    __slots__ = ()
+
+
+_CLOSED = _Closed()
+
+#: Wire size of connection-control messages (SYN, ACK, FIN).
+CTRL_SIZE = 64
+
+
+class Connection:
+    """One endpoint of an established duplex channel."""
+
+    def __init__(self, host, peer_host, port: int) -> None:
+        self.host = host
+        self.peer_host = peer_host
+        self.port = port
+        self.inbox = Mailbox(host.env)
+        self.peer: Optional["Connection"] = None  # set by _pair
+        self.closed = False
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    @staticmethod
+    def _pair(a: "Connection", b: "Connection") -> None:
+        a.peer = b
+        b.peer = a
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, payload: Any, size: Optional[int] = None) -> float:
+        """Queue ``payload`` for delivery; return the delivery time.
+
+        Never suspends the caller: the cost of a slow network is paid by
+        the *receiver's* wait, not the sender (paper section 3.2: sends
+        must not disturb the simulation).
+        """
+        if self.closed:
+            raise ChannelClosed(f"send on closed connection to {self.peer_host.name}")
+        pkt = payload if isinstance(payload, Packet) else Packet(payload, size)
+        env = self.host.env
+        link = self.host.network.link(self.host.name, self.peer_host.name)
+        deliver_at = link.reserve(pkt.size, env.now)
+        self.bytes_sent += pkt.size
+        self.messages_sent += 1
+        peer_inbox = self.peer.inbox
+        ev = env.timeout(deliver_at - env.now)
+        ev.callbacks.append(lambda _ev: peer_inbox.put(pkt.payload))
+        return deliver_at
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None):
+        """Generator resolving to the next payload.
+
+        Raises :class:`TimeoutExpired` on timeout and
+        :class:`ChannelClosed` if the peer closed and the buffer drained.
+        """
+        ok, item = yield from self.inbox.recv(timeout)
+        if not ok:
+            raise TimeoutExpired(
+                f"recv on {self.host.name}:{self.port} exceeded {timeout}s"
+            )
+        if isinstance(item, _Closed):
+            self.closed = True
+            raise ChannelClosed(f"peer {self.peer_host.name} closed the connection")
+        return item
+
+    def try_recv(self) -> tuple[bool, Any]:
+        """Non-suspending receive: ``(True, payload)`` or ``(False, None)``."""
+        ok, item = self.inbox.try_get()
+        if ok and isinstance(item, _Closed):
+            self.closed = True
+            raise ChannelClosed(f"peer {self.peer_host.name} closed the connection")
+        return ok, item
+
+    def pending(self) -> int:
+        """Number of already-delivered, unread messages."""
+        return len(self.inbox)
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self.peer is not None and not self.peer.closed:
+            env = self.host.env
+            link = self.host.network.link(self.host.name, self.peer_host.name)
+            deliver_at = link.reserve(CTRL_SIZE, env.now)
+            peer_inbox = self.peer.inbox
+            ev = env.timeout(deliver_at - env.now)
+            ev.callbacks.append(lambda _ev: peer_inbox.put(_CLOSED))
+
+    def __repr__(self) -> str:
+        return (
+            f"Connection({self.host.name} <-> {self.peer_host.name}:{self.port}"
+            f"{' closed' if self.closed else ''})"
+        )
+
+
+class Listener:
+    """A passive socket: accepted connections arrive in a mailbox."""
+
+    def __init__(self, host, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._backlog = Mailbox(host.env)
+        self.accepted = 0
+
+    def accept(self, timeout: Optional[float] = None):
+        """Generator resolving to the next inbound :class:`Connection`."""
+        ok, conn = yield from self._backlog.recv(timeout)
+        if not ok:
+            raise TimeoutExpired(
+                f"accept on {self.host.name}:{self.port} exceeded {timeout}s"
+            )
+        self.accepted += 1
+        return conn
+
+    def try_accept(self) -> tuple[bool, Optional[Connection]]:
+        return self._backlog.try_get()
+
+    def close(self) -> None:
+        self.host.close_port(self.port)
+
+    def _enqueue(self, conn: Connection) -> None:
+        self._backlog.put(conn)
+
+    def __repr__(self) -> str:
+        return f"Listener({self.host.name}:{self.port})"
+
+
+def open_connection(src_host, dst_name: str, port: int, timeout: Optional[float]):
+    """Generator implementing the connect handshake (one RTT).
+
+    Firewall / NAT / refused outcomes are decided at the *destination*
+    after the SYN propagates, and the error reaches the caller after the
+    full round trip — matching what a real connect() experiences.
+    """
+    env = src_host.env
+    network = src_host.network
+    network.connect_attempts += 1
+    dst_host = network.host(dst_name)
+
+    fwd = network.link(src_host.name, dst_name)
+    rev = network.link(dst_name, src_host.name)
+    syn_at = fwd.reserve(CTRL_SIZE, env.now)
+    rtt_done = rev.reserve(CTRL_SIZE, syn_at) - env.now
+
+    if timeout is not None and rtt_done > timeout:
+        yield env.timeout(timeout)
+        raise TimeoutExpired(
+            f"connect {src_host.name} -> {dst_name}:{port} exceeded {timeout}s"
+        )
+    yield env.timeout(rtt_done)
+
+    # Loopback traffic never crosses the firewall: the gateway and the
+    # services behind it live inside the same protected domain.
+    if src_host is not dst_host and not dst_host.accepts_inbound(port):
+        raise FirewallBlocked(
+            f"{dst_name} rejected inbound to port {port} "
+            f"(nat={dst_host.nat}, {dst_host.firewall})"
+        )
+    listener = dst_host.listeners.get(port)
+    if listener is None:
+        raise ConnectionRefused(f"nothing listening on {dst_name}:{port}")
+
+    local = Connection(src_host, dst_host, port)
+    remote = Connection(dst_host, src_host, port)
+    Connection._pair(local, remote)
+    listener._enqueue(remote)
+    network.log.emit(
+        src_host.name, "connect", dst=dst_name, port=port, rtt=round(rtt_done, 6)
+    )
+    return local

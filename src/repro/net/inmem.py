@@ -1,0 +1,65 @@
+"""Synchronous in-memory transport for unit-testing protocol layers.
+
+Protocol code (VISIT messages, OGSA envelopes, steering control) is
+written sans-IO where possible; :class:`SyncPipe` lets tests drive both
+ends of a conversation without standing up the DES network.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional, Tuple
+
+
+class SyncEndpoint:
+    """One end of a :class:`SyncPipe`: ``send`` and ``poll``."""
+
+    def __init__(self) -> None:
+        self._rx: deque = deque()
+        self._peer: Optional["SyncEndpoint"] = None
+        self.closed = False
+        self.bytes_sent = 0
+
+    def send(self, payload: Any, size: Optional[int] = None) -> None:
+        if self.closed or self._peer is None or self._peer.closed:
+            raise ConnectionError("pipe closed")
+        if size is None and isinstance(payload, (bytes, bytearray)):
+            size = len(payload)
+        self.bytes_sent += size or 0
+        self._peer._rx.append(payload)
+
+    def poll(self) -> Tuple[bool, Any]:
+        """Non-blocking receive: ``(True, payload)`` or ``(False, None)``."""
+        if self._rx:
+            return True, self._rx.popleft()
+        return False, None
+
+    def recv(self) -> Any:
+        """Receive, raising ``LookupError`` if nothing is queued.
+
+        In a synchronous pipe "blocking" is meaningless; a missing message
+        is a test bug, so fail loudly.
+        """
+        ok, item = self.poll()
+        if not ok:
+            raise LookupError("recv on empty SyncEndpoint")
+        return item
+
+    def pending(self) -> int:
+        return len(self._rx)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class SyncPipe:
+    """A pair of connected synchronous endpoints."""
+
+    def __init__(self) -> None:
+        self.a = SyncEndpoint()
+        self.b = SyncEndpoint()
+        self.a._peer = self.b
+        self.b._peer = self.a
+
+    def ends(self) -> Tuple[SyncEndpoint, SyncEndpoint]:
+        return self.a, self.b

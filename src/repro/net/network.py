@@ -1,0 +1,203 @@
+"""Network topology: hosts and links with latency + serialized bandwidth."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.des import Environment
+from repro.errors import NetworkError, HostUnreachable
+from repro.net.firewall import Firewall
+from repro.util.eventlog import EventLog
+
+
+class Link:
+    """A directed link with propagation latency and finite bandwidth.
+
+    Bandwidth is modeled with FIFO serialization: each transfer occupies
+    the link for ``size / bandwidth`` seconds starting no earlier than the
+    end of the previous transfer, then propagates for ``latency`` seconds.
+    This captures queueing under load without per-packet simulation.
+    """
+
+    def __init__(self, src: str, dst: str, latency: float, bandwidth: float) -> None:
+        if latency < 0:
+            raise NetworkError(f"negative latency on {src}->{dst}")
+        if bandwidth <= 0:
+            raise NetworkError(f"non-positive bandwidth on {src}->{dst}")
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.bandwidth = bandwidth  # bytes / second
+        self._free_at = 0.0
+        self.bytes_carried = 0
+        self.transfers = 0
+
+    def reserve(self, nbytes: int, now: float) -> float:
+        """Reserve the link for a transfer; return the *delivery* time."""
+        start = max(now, self._free_at)
+        serialize = nbytes / self.bandwidth
+        self._free_at = start + serialize
+        self.bytes_carried += nbytes
+        self.transfers += 1
+        return self._free_at + self.latency
+
+    def one_way_delay(self, nbytes: int) -> float:
+        """Unloaded delivery delay for a message of ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.src}->{self.dst}, {self.latency * 1e3:.3g} ms, "
+            f"{self.bandwidth * 8 / 1e6:.4g} Mbit/s)"
+        )
+
+
+class Host:
+    """A named machine on the simulated network."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        firewall: Optional[Firewall] = None,
+        nat: bool = False,
+        multicast: bool = True,
+        cpu_count: int = 1,
+    ) -> None:
+        self.network = network
+        self.name = name
+        self.firewall = firewall or Firewall.open()
+        #: NAT hosts can originate connections but never accept inbound.
+        self.nat = nat
+        #: whether the site has native multicast (section 2.4 distinguishes
+        #: "all participating sites who have native multicast enabled").
+        self.multicast = multicast
+        self.listeners: dict[int, "Listener"] = {}
+        self.cpu_count = cpu_count
+
+    @property
+    def env(self) -> Environment:
+        return self.network.env
+
+    def listen(self, port: int) -> "Listener":
+        from repro.net.channel import Listener
+
+        if port in self.listeners:
+            raise NetworkError(f"{self.name}: port {port} already in use")
+        listener = Listener(self, port)
+        self.listeners[port] = listener
+        return listener
+
+    def close_port(self, port: int) -> None:
+        self.listeners.pop(port, None)
+
+    def connect(self, dst: str, port: int, timeout: Optional[float] = None):
+        """Generator: open a connection to ``dst:port``.
+
+        Yields DES events; resolves to a :class:`Connection` or raises
+        (ConnectionRefused, FirewallBlocked, HostUnreachable,
+        TimeoutExpired).
+        """
+        from repro.net.channel import open_connection
+
+        return open_connection(self, dst, port, timeout)
+
+    def accepts_inbound(self, port: int) -> bool:
+        return not self.nat and self.firewall.allows_inbound(port)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r})"
+
+
+class Network:
+    """Topology container and link-lookup/routing authority.
+
+    Hosts without an explicit link between them communicate over an
+    implicit default link (``default_latency`` / ``default_bandwidth``),
+    so scenario builders only need to profile the interesting paths.
+    """
+
+    #: Delay for host-local (loopback) traffic.
+    LOOPBACK_LATENCY = 10e-6
+    LOOPBACK_BANDWIDTH = 10e9 / 8  # 10 Gbit/s in bytes/s
+
+    def __init__(
+        self,
+        env: Environment,
+        default_latency: float = 0.050,
+        default_bandwidth: float = 10e6 / 8,
+        log: Optional[EventLog] = None,
+    ) -> None:
+        self.env = env
+        self.hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self.default_latency = default_latency
+        self.default_bandwidth = default_bandwidth
+        self.log = log or EventLog(lambda: env.now)
+        if log is not None:
+            log.bind_clock(lambda: env.now)
+        self.connect_attempts = 0
+
+    # -- topology building ------------------------------------------------
+
+    def add_host(self, name: str, **kwargs) -> Host:
+        if name in self.hosts:
+            raise NetworkError(f"duplicate host {name!r}")
+        host = Host(self, name, **kwargs)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise HostUnreachable(f"unknown host {name!r}") from None
+
+    def add_link(
+        self, a: str, b: str, latency: float, bandwidth: float
+    ) -> tuple[Link, Link]:
+        """Create the directed link pair between two known hosts."""
+        for name in (a, b):
+            if name not in self.hosts:
+                raise NetworkError(f"add_link references unknown host {name!r}")
+        fwd = Link(a, b, latency, bandwidth)
+        rev = Link(b, a, latency, bandwidth)
+        self._links[(a, b)] = fwd
+        self._links[(b, a)] = rev
+        return fwd, rev
+
+    def link(self, src: str, dst: str) -> Link:
+        """The directed link used for ``src -> dst`` traffic.
+
+        Loopback and implicit default links are created lazily so their
+        traffic counters persist across calls.
+        """
+        if src not in self.hosts or dst not in self.hosts:
+            raise HostUnreachable(f"no route {src!r} -> {dst!r}")
+        key = (src, dst)
+        found = self._links.get(key)
+        if found is not None:
+            return found
+        if src == dst:
+            made = Link(src, dst, self.LOOPBACK_LATENCY, self.LOOPBACK_BANDWIDTH)
+        else:
+            made = Link(src, dst, self.default_latency, self.default_bandwidth)
+        self._links[key] = made
+        return made
+
+    # -- accounting --------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return sum(link.bytes_carried for link in self._links.values())
+
+    def bytes_between(self, a: str, b: str) -> int:
+        """Bytes carried in both directions between two hosts."""
+        total = 0
+        for key in ((a, b), (b, a)):
+            if key in self._links:
+                total += self._links[key].bytes_carried
+        return total
+
+    def links(self) -> list[Link]:
+        return list(self._links.values())

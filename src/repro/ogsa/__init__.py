@@ -1,0 +1,47 @@
+"""OGSA: the Open Grid Services Architecture layer (sections 2.2-2.3).
+
+RealityGrid ran its steering as an OGSA-compliant Grid service before GT3
+existed, using **OGSI::Lite** — "a lightweight OGSA hosting environment
+... us[ing] Perl ... thus [able to] run on almost any platform" (even a
+PlayStation 2).  This package is that hosting environment in Python:
+
+* :mod:`repro.ogsa.container` — the hosting environment: deploys service
+  instances at a host:port, dispatches invocations, enforces lifetimes;
+* :mod:`repro.ogsa.service` — the GridService base: operations, service
+  data elements (SDEs), termination time;
+* :mod:`repro.ogsa.handles` — GSH/GSR handles and the resolver;
+* :mod:`repro.ogsa.registry` — the registry the steering client contacts
+  first ("This contacts a registry which ha[s] details of the steering
+  services that have published to the registry", section 2.3);
+* :mod:`repro.ogsa.steering_service` / :mod:`repro.ogsa.viz_service` —
+  "one service that steers the application and another that steers the
+  visualization" (Figure 2);
+* :mod:`repro.ogsa.client` — the steering client that looks up, binds and
+  invokes.
+"""
+
+from repro.ogsa.soap import envelope, open_envelope
+from repro.ogsa.handles import GridServiceHandle, HandleResolver
+from repro.ogsa.service import GridService, operation
+from repro.ogsa.container import OgsiLiteContainer, ServiceConnection
+from repro.ogsa.registry import RegistryService
+from repro.ogsa.steering_service import SteeringService
+from repro.ogsa.viz_service import VisualizationService
+from repro.ogsa.client import OgsaSteeringClient
+from repro.ogsa.migration import migrate_service
+
+__all__ = [
+    "envelope",
+    "open_envelope",
+    "GridServiceHandle",
+    "HandleResolver",
+    "GridService",
+    "operation",
+    "OgsiLiteContainer",
+    "ServiceConnection",
+    "RegistryService",
+    "SteeringService",
+    "VisualizationService",
+    "OgsaSteeringClient",
+    "migrate_service",
+]

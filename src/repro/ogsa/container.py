@@ -1,0 +1,155 @@
+"""OGSI::Lite — the lightweight hosting environment (section 2.3).
+
+Deploys :class:`~repro.ogsa.service.GridService` instances at one
+host:port, dispatches envelope-addressed invocations to them, reaps
+expired instances, and answers handle-resolution queries for its own
+services.  Faults travel back inside the envelope; the caller decides
+what to raise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ChannelClosed, OgsaError, ServiceNotFound, TimeoutExpired
+from repro.ogsa.handles import GridServiceHandle, GridServiceReference
+from repro.ogsa.service import GridService
+from repro.ogsa.soap import envelope, open_envelope
+
+
+class OgsiLiteContainer:
+    """One hosting environment on one simulated host."""
+
+    def __init__(self, host, port: int, authority: Optional[str] = None,
+                 reap_interval: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.authority = authority or f"{host.name}:{port}"
+        self.reap_interval = reap_interval
+        self._services: dict[str, GridService] = {}
+        self.faults_returned = 0
+        self.reaped = 0
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy(self, service: GridService) -> GridServiceReference:
+        if service.service_id in self._services:
+            raise OgsaError(f"service id {service.service_id!r} already deployed")
+        self._services[service.service_id] = service
+        service.attached(self, self.host.env.now)
+        handle = GridServiceHandle(self.authority, service.service_id)
+        return GridServiceReference(
+            handle, self.host.name, self.port, tuple(service.interface())
+        )
+
+    def undeploy(self, service_id: str) -> None:
+        if service_id not in self._services:
+            raise ServiceNotFound(f"no service {service_id!r} in this container")
+        del self._services[service_id]
+
+    def service(self, service_id: str) -> GridService:
+        svc = self._services.get(service_id)
+        if svc is None:
+            raise ServiceNotFound(f"no service {service_id!r} in this container")
+        return svc
+
+    def deployed(self) -> list[str]:
+        return sorted(self._services)
+
+    # -- processes ------------------------------------------------------------------
+
+    def start(self) -> None:
+        listener = self.host.listen(self.port)
+        env = self.host.env
+
+        def accept_loop():
+            while True:
+                conn = yield from listener.accept()
+                env.process(self._serve(conn))
+
+        env.process(accept_loop())
+        env.process(self._reaper())
+
+    def _reaper(self):
+        env = self.host.env
+        while True:
+            yield env.timeout(self.reap_interval)
+            for sid in list(self._services):
+                if self._services[sid].expired(env.now):
+                    del self._services[sid]
+                    self.reaped += 1
+
+    def _serve(self, conn):
+        while True:
+            try:
+                msg = yield from conn.recv(timeout=None)
+            except ChannelClosed:
+                return
+            try:
+                service_id, op, body, _ = open_envelope(msg)
+            except OgsaError as exc:
+                self.faults_returned += 1
+                conn.send(envelope("?", "?", fault=str(exc)))
+                continue
+            svc = self._services.get(service_id)
+            if svc is None or svc.expired(self.host.env.now):
+                self.faults_returned += 1
+                conn.send(
+                    envelope(service_id, op,
+                             fault=f"no such service {service_id!r}")
+                )
+                continue
+            try:
+                result = yield from svc.dispatch(op, body)
+            except OgsaError as exc:
+                self.faults_returned += 1
+                conn.send(envelope(service_id, op, fault=str(exc)))
+                continue
+            except Exception as exc:  # service bug: fault, don't crash
+                self.faults_returned += 1
+                conn.send(
+                    envelope(service_id, op,
+                             fault=f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            conn.send(envelope(service_id, op, body={"result": result}))
+
+
+class ServiceConnection:
+    """Client-side helper: invoke operations on services in one container."""
+
+    def __init__(self, host, container_host: str, port: int,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.container_host = container_host
+        self.port = port
+        self.timeout = timeout
+        self._conn = None
+
+    def open(self):
+        """Generator: establish the connection."""
+        self._conn = yield from self.host.connect(
+            self.container_host, self.port, timeout=self.timeout
+        )
+        return self
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def invoke(self, service_id: str, op: str, **args):
+        """Generator -> result; raises OgsaError on faults."""
+        if self._conn is None or self._conn.closed:
+            raise OgsaError("service connection is not open")
+        self._conn.send(envelope(service_id, op, body=args))
+        try:
+            reply = yield from self._conn.recv(timeout=self.timeout)
+        except TimeoutExpired:
+            raise OgsaError(
+                f"invoke {service_id}.{op} timed out after {self.timeout}s"
+            ) from None
+        _sid, _op, body, fault = open_envelope(reply)
+        if fault:
+            raise OgsaError(fault)
+        return body.get("result")

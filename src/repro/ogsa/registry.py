@@ -1,0 +1,62 @@
+"""The registry service (section 2.3, Figure 2).
+
+"[The steering client] contacts a registry which ha[s] details of the
+steering services that have published to the registry...  The client
+chooses the services it will require and binds them to the client."
+
+Entries carry the service handle plus free-form metadata (what it steers,
+which application, which site).  ``find`` matches on metadata subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import OgsaError
+from repro.ogsa.service import GridService, operation
+
+
+class RegistryService(GridService):
+    """A GridService whose state is the published-services table."""
+
+    def __init__(self, service_id: str = "registry") -> None:
+        super().__init__(service_id)
+        self._entries: dict[str, dict] = {}
+        self.service_data["entry_count"] = 0
+
+    @operation
+    def publish(self, handle: str, metadata: dict) -> bool:
+        """Register (or refresh) a service under its GSH string."""
+        if not isinstance(handle, str) or not handle.startswith("gsh://"):
+            raise OgsaError(f"publish needs a GSH string, got {handle!r}")
+        if not isinstance(metadata, dict):
+            raise OgsaError("metadata must be a struct")
+        self._entries[handle] = dict(metadata)
+        self.service_data["entry_count"] = len(self._entries)
+        return True
+
+    @operation
+    def unpublish(self, handle: str) -> bool:
+        if handle not in self._entries:
+            raise OgsaError(f"handle {handle!r} is not published")
+        del self._entries[handle]
+        self.service_data["entry_count"] = len(self._entries)
+        return True
+
+    @operation
+    def find(self, query: dict | None = None) -> list:
+        """Entries whose metadata contains all (key, value) pairs of the
+        query; empty query lists everything."""
+        query = query or {}
+        out = []
+        for handle, meta in sorted(self._entries.items()):
+            if all(meta.get(k) == v for k, v in query.items()):
+                out.append({"handle": handle, "metadata": dict(meta)})
+        return out
+
+    @operation
+    def lookup(self, handle: str) -> dict:
+        meta = self._entries.get(handle)
+        if meta is None:
+            raise OgsaError(f"handle {handle!r} is not published")
+        return dict(meta)

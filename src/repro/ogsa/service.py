@@ -1,0 +1,107 @@
+"""GridService base class: operations, service data, lifetime.
+
+OGSI's contribution over bare web services was *stateful* service
+instances with introspectable **service data elements** and a bounded
+**lifetime** (termination time) that clients must keep extending — both
+are implemented here because the steering service genuinely uses them
+(published parameters live in SDEs; abandoned sessions time out).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Optional
+
+from repro.errors import OgsaError
+
+
+def operation(fn: Callable) -> Callable:
+    """Mark a method as an invocable service operation."""
+    fn._ogsa_operation = True
+    return fn
+
+
+class GridService:
+    """Base class for service instances hosted in a container."""
+
+    #: default lifetime granted at creation (seconds of virtual time)
+    DEFAULT_LIFETIME = 3600.0
+
+    def __init__(self, service_id: str) -> None:
+        self.service_id = service_id
+        self.service_data: dict[str, Any] = {}
+        self.created_at: float = 0.0
+        self.termination_time: float = float("inf")
+        self.invocations = 0
+        self._container = None
+
+    # -- container wiring -------------------------------------------------------
+
+    def attached(self, container, now: float) -> None:
+        """Called by the container when the instance is deployed."""
+        self._container = container
+        self.created_at = now
+        self.termination_time = now + self.DEFAULT_LIFETIME
+
+    @property
+    def env(self):
+        if self._container is None:
+            raise OgsaError(f"service {self.service_id} is not deployed")
+        return self._container.host.env
+
+    # -- introspection --------------------------------------------------------------
+
+    def interface(self) -> list[str]:
+        """Names of all invocable operations (the portType)."""
+        ops = []
+        for name, member in inspect.getmembers(self, predicate=callable):
+            if getattr(member, "_ogsa_operation", False):
+                ops.append(name)
+        return sorted(ops)
+
+    @operation
+    def get_service_data(self, name: str = "") -> Any:
+        """OGSI findServiceData: one element or the whole set."""
+        if name:
+            if name not in self.service_data:
+                raise OgsaError(f"no service data element {name!r}")
+            return self.service_data[name]
+        return dict(self.service_data)
+
+    @operation
+    def request_termination_after(self, lifetime: float) -> float:
+        """Extend (or shorten) the lifetime; returns the new deadline."""
+        if lifetime < 0:
+            raise OgsaError("lifetime must be >= 0")
+        self.termination_time = self.env.now + lifetime
+        return self.termination_time
+
+    @operation
+    def destroy(self) -> bool:
+        """Explicit destruction."""
+        self.termination_time = self.env.now
+        return True
+
+    def expired(self, now: float) -> bool:
+        return now >= self.termination_time
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, op: str, args: dict):
+        """Generator -> result.  Invoke an operation by name.
+
+        Plain-function operations return directly; generator operations
+        (ones that must wait on the network) are delegated with their
+        yields intact.
+        """
+        member = getattr(self, op, None)
+        if member is None or not getattr(member, "_ogsa_operation", False):
+            raise OgsaError(
+                f"service {self.service_id!r} has no operation {op!r}"
+            )
+        self.invocations += 1
+        if inspect.isgeneratorfunction(member):
+            result = yield from member(**args)
+            return result
+        return member(**args)
+        yield  # pragma: no cover - generator marker

@@ -1,0 +1,161 @@
+"""The OGSA steering service (Figure 2's central box).
+
+"The steering client, i.e. the part that can be integrated into the
+collaborative environment, contacts a steering service which will
+actually orchestrate the details of the steering" (section 2.2).
+
+The service fronts one :class:`~repro.steering.api.SteeredApplication`
+over a duplex control link (typically a network connection to the
+machine the simulation runs on).  A pump process continuously ingests
+acks / status / samples from the application; invocations that need an
+answer wait on per-sequence futures with a timeout, so a dead application
+faults the *service call*, never the container.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import OgsaError
+from repro.ogsa.service import GridService, operation
+from repro.steering.control import (
+    Ack,
+    CheckpointCmd,
+    GetStatus,
+    Pause,
+    Resume,
+    SampleMsg,
+    SetParam,
+    StatusReport,
+    Stop,
+)
+
+
+class SteeringService(GridService):
+    """Grid service fronting one steered application."""
+
+    def __init__(
+        self,
+        service_id: str,
+        app_link,
+        application_name: str = "",
+        reply_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(service_id)
+        self.app_link = app_link
+        self.reply_timeout = reply_timeout
+        self._seq = 0
+        self._waiters: dict[int, Any] = {}  # seq -> des Event
+        self.last_status: Optional[StatusReport] = None
+        self.latest_sample: Optional[SampleMsg] = None
+        self.samples_seen = 0
+        self.service_data["application"] = application_name
+        self.service_data["steered_parameters"] = []
+
+    def attached(self, container, now: float) -> None:
+        super().attached(container, now)
+        self.env.process(self._pump())
+
+    # -- ingest loop --------------------------------------------------------------
+
+    def _pump(self):
+        env = self.env
+        while True:
+            progressed = False
+            while True:
+                ok, msg = self.app_link.poll()
+                if not ok:
+                    break
+                progressed = True
+                if isinstance(msg, Ack):
+                    waiter = self._waiters.pop(msg.seq, None)
+                    if waiter is not None and not waiter.triggered:
+                        waiter.succeed(msg)
+                elif isinstance(msg, StatusReport):
+                    self.last_status = msg
+                    self.service_data["steered_parameters"] = sorted(
+                        msg.parameters
+                    )
+                    # Status replies also answer pending GetStatus waiters.
+                    for seq, waiter in list(self._waiters.items()):
+                        if getattr(waiter, "_wants_status", False):
+                            del self._waiters[seq]
+                            if not waiter.triggered:
+                                waiter.succeed(msg)
+                elif isinstance(msg, SampleMsg):
+                    self.latest_sample = msg
+                    self.samples_seen += 1
+            # Poll at a fine grain; the pump is cheap in virtual time.
+            yield env.timeout(0.01 if not progressed else 0.0)
+
+    def _command(self, msg, wants_status: bool = False):
+        """Generator -> Ack/StatusReport: send a command, await its reply."""
+        self._seq += 1
+        msg.seq = self._seq
+        msg.sender = self.service_id
+        waiter = self.env.event()
+        waiter._wants_status = wants_status
+        self._waiters[self._seq] = waiter
+        self.app_link.send(msg)
+        timeout = self.env.timeout(self.reply_timeout)
+        results = yield self.env.any_of([waiter, timeout])
+        if waiter in results:
+            return results[waiter]
+        self._waiters.pop(msg.seq, None)
+        raise OgsaError(
+            f"application did not reply to {type(msg).__name__} within "
+            f"{self.reply_timeout}s"
+        )
+
+    # -- operations --------------------------------------------------------------
+
+    @operation
+    def set_parameter(self, name: str, value: Any):
+        """Generator: steer one parameter; returns the applied value."""
+        ack = yield from self._command(SetParam(name=name, value=value))
+        if not ack.ok:
+            raise OgsaError(f"set_parameter rejected: {ack.error}")
+        return ack.result
+
+    @operation
+    def pause(self):
+        ack = yield from self._command(Pause())
+        return ack.ok
+
+    @operation
+    def resume(self):
+        ack = yield from self._command(Resume())
+        return ack.ok
+
+    @operation
+    def stop(self):
+        ack = yield from self._command(Stop())
+        return ack.ok
+
+    @operation
+    def checkpoint(self):
+        """Generator -> checkpoint id held at the application."""
+        ack = yield from self._command(CheckpointCmd())
+        if not ack.ok:
+            raise OgsaError(f"checkpoint failed: {ack.error}")
+        return ack.result
+
+    @operation
+    def get_status(self):
+        """Generator -> dict form of the application's StatusReport."""
+        report = yield from self._command(GetStatus(), wants_status=True)
+        return {
+            "step": report.step,
+            "time": report.time,
+            "observables": report.observables,
+            "parameters": report.parameters,
+            "paused": report.paused,
+        }
+
+    @operation
+    def latest_sample_meta(self) -> dict:
+        """Sequence/step of the newest sample (data flows via the viz
+        service, not through steering calls)."""
+        if self.latest_sample is None:
+            return {"seq": 0, "step": -1}
+        return {"seq": self.latest_sample.seq, "step": self.latest_sample.step}

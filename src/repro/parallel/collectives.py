@@ -1,0 +1,73 @@
+"""Alpha-beta cost models for collective operations.
+
+Used to charge virtual time for the parallel phases of the steered
+simulations when they run inside the DES scenarios: a collective on P
+ranks moving m bytes costs ``ceil(log2 P)`` latency terms plus bandwidth
+terms, the standard Hockney-style model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Latency/bandwidth (alpha/beta) model of the machine interconnect.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency in seconds (switch + software overhead).
+    beta:
+        Seconds per byte (inverse bandwidth) of a link.
+    """
+
+    alpha: float = 5e-6
+    beta: float = 1.0 / 400e6  # 400 MB/s, era-appropriate HPC interconnect
+
+    def _check(self, nranks: int, nbytes: float) -> None:
+        if nranks < 1:
+            raise SimulationError("nranks must be >= 1")
+        if nbytes < 0:
+            raise SimulationError("nbytes must be >= 0")
+
+    def point_to_point(self, nbytes: float) -> float:
+        return self.alpha + self.beta * nbytes
+
+    def barrier(self, nranks: int) -> float:
+        self._check(nranks, 0)
+        if nranks == 1:
+            return 0.0
+        return 2.0 * math.ceil(math.log2(nranks)) * self.alpha
+
+    def bcast(self, nranks: int, nbytes: float) -> float:
+        """Binomial-tree broadcast."""
+        self._check(nranks, nbytes)
+        if nranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return rounds * (self.alpha + self.beta * nbytes)
+
+    def reduce(self, nranks: int, nbytes: float) -> float:
+        return self.bcast(nranks, nbytes)  # same tree, reversed
+
+    def allreduce(self, nranks: int, nbytes: float) -> float:
+        """Reduce + broadcast (the classic non-rabenseifner estimate)."""
+        return self.reduce(nranks, nbytes) + self.bcast(nranks, nbytes)
+
+    def allgather(self, nranks: int, nbytes_per_rank: float) -> float:
+        """Ring allgather: P-1 steps of one block each."""
+        self._check(nranks, nbytes_per_rank)
+        if nranks == 1:
+            return 0.0
+        return (nranks - 1) * (self.alpha + self.beta * nbytes_per_rank)
+
+    def alltoall(self, nranks: int, nbytes_per_pair: float) -> float:
+        self._check(nranks, nbytes_per_pair)
+        if nranks == 1:
+            return 0.0
+        return (nranks - 1) * (self.alpha + self.beta * nbytes_per_pair)

@@ -1,0 +1,324 @@
+"""Deterministic in-process SPMD runtime (a mini-MPI on generators).
+
+A rank program is a generator function ``fn(comm, *args)`` that yields
+operation objects::
+
+    def worker(comm):
+        data = yield Bcast(root=0, data=comm.rank == 0 and payload or None)
+        total = yield Allreduce(comm.rank, op="sum")
+        return total
+
+``run_spmd(4, worker)`` executes all ranks in a lockstep scheduler:
+point-to-point sends are buffered (non-blocking), receives block until a
+matching message exists, and collectives rendezvous by call order — each
+rank's N-th collective matches every other rank's N-th, as MPI requires.
+Mismatched collective types or a blocked cycle raise
+:class:`DeadlockError` instead of hanging, which turns classic MPI bugs
+into test failures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class DeadlockError(SimulationError):
+    """No rank can make progress but not all ranks have finished."""
+
+
+# -- operations ---------------------------------------------------------------
+
+
+@dataclass
+class Send:
+    """Buffered (non-blocking) point-to-point send."""
+
+    dest: int
+    data: Any
+    tag: int = 0
+
+
+@dataclass
+class Recv:
+    """Blocking receive from ``source`` with matching ``tag``."""
+
+    source: int
+    tag: int = 0
+
+
+@dataclass
+class Bcast:
+    """Broadcast ``data`` from ``root``; every rank receives it."""
+
+    root: int
+    data: Any = None
+
+
+@dataclass
+class Reduce:
+    """Reduce ``value`` to ``root`` with ``op`` (sum/min/max)."""
+
+    value: Any
+    root: int = 0
+    op: str = "sum"
+
+
+@dataclass
+class Allreduce:
+    value: Any
+    op: str = "sum"
+
+
+@dataclass
+class Gather:
+    value: Any
+    root: int = 0
+
+
+@dataclass
+class Allgather:
+    value: Any
+
+
+@dataclass
+class Alltoall:
+    """``values`` must have one entry per rank; rank i gets entry i from all."""
+
+    values: list
+
+
+@dataclass
+class Barrier:
+    pass
+
+
+_COLLECTIVES = (Bcast, Reduce, Allreduce, Gather, Allgather, Alltoall, Barrier)
+
+
+def _combine(values: list, op: str) -> Any:
+    if op == "sum":
+        out = values[0]
+        for v in values[1:]:
+            out = out + v
+        return out
+    if op == "min":
+        return min(values) if not isinstance(values[0], np.ndarray) else np.minimum.reduce(values)
+    if op == "max":
+        return max(values) if not isinstance(values[0], np.ndarray) else np.maximum.reduce(values)
+    raise SimulationError(f"unknown reduction op {op!r}")
+
+
+def _payload_bytes(data: Any) -> int:
+    if isinstance(data, np.ndarray):
+        return data.nbytes
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    return 64  # nominal size for small python objects
+
+
+@dataclass
+class CommStats:
+    """Traffic accounting for one SPMD run."""
+
+    p2p_messages: int = 0
+    p2p_bytes: int = 0
+    collectives: int = 0
+    collective_bytes: int = 0
+    per_rank_bytes: dict = field(default_factory=dict)
+
+    def _add_rank(self, rank: int, nbytes: int) -> None:
+        self.per_rank_bytes[rank] = self.per_rank_bytes.get(rank, 0) + nbytes
+
+
+class _RankView:
+    """The ``comm`` object handed to each rank program."""
+
+    def __init__(self, rank: int, size: int, stats: CommStats) -> None:
+        self.rank = rank
+        self.size = size
+        self.stats = stats
+
+    def __repr__(self) -> str:
+        return f"<comm rank={self.rank} size={self.size}>"
+
+
+class _Rank:
+    def __init__(self, index: int, gen) -> None:
+        self.index = index
+        self.gen = gen
+        self.op: Optional[Any] = None
+        self.send_value: Any = None  # value to send into the generator next
+        self.finished = False
+        self.result: Any = None
+        self.coll_seq = 0  # how many collectives this rank has completed
+
+
+class _CollectiveSlot:
+    def __init__(self, optype: type, size: int) -> None:
+        self.optype = optype
+        self.arrived: dict[int, Any] = {}
+        self.size = size
+
+    def full(self) -> bool:
+        return len(self.arrived) == self.size
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable,
+    *args,
+    stats: Optional[CommStats] = None,
+    max_rounds: int = 10_000_000,
+) -> list:
+    """Run ``fn(comm, *args)`` on ``nranks`` ranks; return their results."""
+    if nranks < 1:
+        raise SimulationError("need at least one rank")
+    stats = stats if stats is not None else CommStats()
+    ranks = []
+    for i in range(nranks):
+        view = _RankView(i, nranks, stats)
+        gen = fn(view, *args)
+        if not hasattr(gen, "send"):
+            raise SimulationError("rank program must be a generator function")
+        ranks.append(_Rank(i, gen))
+
+    # (src, dest, tag) -> deque of payloads
+    mailboxes: dict[tuple[int, int, int], deque] = {}
+    # collective sequence number -> slot
+    slots: dict[int, _CollectiveSlot] = {}
+
+    def step_rank(r: _Rank) -> bool:
+        """Advance one rank as far as possible; True if it made progress."""
+        progressed = False
+        while not r.finished:
+            if r.op is None:
+                try:
+                    r.op = r.gen.send(r.send_value)
+                    r.send_value = None
+                    progressed = True
+                except StopIteration as stop:
+                    r.finished = True
+                    r.result = stop.value
+                    progressed = True
+                    break
+            op = r.op
+            if isinstance(op, Send):
+                if not 0 <= op.dest < nranks:
+                    raise SimulationError(f"send to invalid rank {op.dest}")
+                mailboxes.setdefault((r.index, op.dest, op.tag), deque()).append(op.data)
+                nbytes = _payload_bytes(op.data)
+                stats.p2p_messages += 1
+                stats.p2p_bytes += nbytes
+                stats._add_rank(r.index, nbytes)
+                r.op = None
+                r.send_value = None
+                progressed = True
+                continue
+            if isinstance(op, Recv):
+                box = mailboxes.get((op.source, r.index, op.tag))
+                if box:
+                    r.send_value = box.popleft()
+                    r.op = None
+                    progressed = True
+                    continue
+                break  # blocked on recv
+            if isinstance(op, _COLLECTIVES):
+                slot = slots.get(r.coll_seq)
+                if slot is None:
+                    slot = slots[r.coll_seq] = _CollectiveSlot(type(op), nranks)
+                if slot.optype is not type(op):
+                    raise DeadlockError(
+                        f"collective mismatch at seq {r.coll_seq}: rank "
+                        f"{r.index} called {type(op).__name__}, others "
+                        f"called {slot.optype.__name__}"
+                    )
+                if r.index not in slot.arrived:
+                    slot.arrived[r.index] = op
+                    progressed = True
+                if not slot.full():
+                    break  # wait for the others
+                seq = r.coll_seq  # _complete_collective advances coll_seq
+                _complete_collective(slot, ranks, stats)
+                del slots[seq]
+                # All ranks (including this one) got send_value + op=None.
+                continue
+            raise SimulationError(f"rank {r.index} yielded unknown op {op!r}")
+        return progressed
+
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise DeadlockError("scheduler exceeded max rounds")
+        progressed = False
+        for r in ranks:
+            if not r.finished:
+                progressed = step_rank(r) or progressed
+        if all(r.finished for r in ranks):
+            return [r.result for r in ranks]
+        if not progressed:
+            blocked = {
+                r.index: type(r.op).__name__ for r in ranks if not r.finished
+            }
+            raise DeadlockError(f"no rank can progress; blocked on {blocked}")
+
+
+def _complete_collective(slot: _CollectiveSlot, ranks: list, stats: CommStats) -> None:
+    ops = slot.arrived
+    optype = slot.optype
+    stats.collectives += 1
+    results: dict[int, Any] = {}
+    if optype is Barrier:
+        results = {i: None for i in ops}
+    elif optype is Bcast:
+        root = ops[0].root
+        data = ops[root].data
+        nbytes = _payload_bytes(data)
+        stats.collective_bytes += nbytes * (len(ops) - 1)
+        results = {i: data for i in ops}
+    elif optype is Reduce:
+        root = ops[0].root
+        values = [ops[i].value for i in sorted(ops)]
+        combined = _combine(values, ops[root].op)
+        stats.collective_bytes += sum(_payload_bytes(v) for v in values)
+        results = {i: (combined if i == root else None) for i in ops}
+    elif optype is Allreduce:
+        values = [ops[i].value for i in sorted(ops)]
+        combined = _combine(values, ops[0].op)
+        stats.collective_bytes += 2 * sum(_payload_bytes(v) for v in values)
+        results = {i: combined for i in ops}
+    elif optype is Gather:
+        root = ops[0].root
+        values = [ops[i].value for i in sorted(ops)]
+        stats.collective_bytes += sum(_payload_bytes(v) for v in values)
+        results = {i: (values if i == root else None) for i in ops}
+    elif optype is Allgather:
+        values = [ops[i].value for i in sorted(ops)]
+        stats.collective_bytes += len(ops) * sum(_payload_bytes(v) for v in values)
+        results = {i: list(values) for i in ops}
+    elif optype is Alltoall:
+        size = slot.size
+        for i, op in ops.items():
+            if len(op.values) != size:
+                raise SimulationError(
+                    f"Alltoall on rank {i} supplied {len(op.values)} values "
+                    f"for {size} ranks"
+                )
+        stats.collective_bytes += sum(
+            _payload_bytes(v) for op in ops.values() for v in op.values
+        )
+        results = {i: [ops[j].values[i] for j in sorted(ops)] for i in ops}
+    else:  # pragma: no cover - guarded by _COLLECTIVES
+        raise SimulationError(f"unhandled collective {optype}")
+
+    for i, value in results.items():
+        rank = ranks[i]
+        rank.send_value = value
+        rank.op = None
+        rank.coll_seq += 1

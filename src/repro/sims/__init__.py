@@ -1,0 +1,30 @@
+"""Steerable simulation codes.
+
+The paper's three demonstrations steer three applications; each gets a
+faithful synthetic equivalent:
+
+* :mod:`repro.sims.lb3d` — the RealityGrid Lattice-Boltzmann two-fluid
+  mixture with steerable miscibility (section 2.2).
+* :mod:`repro.sims.pepc` — the Parallel Electrostatic Plasma
+  Coulomb-solver: hierarchical tree code, O(N log N) force summation,
+  beam-on-target scenario with steerable beam/laser (sections 3.4).
+* :mod:`repro.sims.building` — the HLRS/DaimlerChrysler Car-Show building
+  climatization simulation (section 4.7).
+* :mod:`repro.sims.crowd` — visitor-behaviour simulation in the same
+  building ("steer the visitors ... into certain regions", section 4.7).
+
+All implement the :class:`repro.sims.base.Simulation` protocol so the
+steering core can instrument any of them uniformly.
+"""
+
+from repro.sims.base import Simulation
+from repro.sims.lb3d import LatticeBoltzmann3D
+from repro.sims.building import BuildingClimate
+from repro.sims.crowd import CrowdSim
+
+__all__ = [
+    "Simulation",
+    "LatticeBoltzmann3D",
+    "BuildingClimate",
+    "CrowdSim",
+]

@@ -1,0 +1,199 @@
+"""Building climatization simulation (the HLRS Car-Show demo, section 4.7).
+
+"Simulations allow determining and optimizing the climatization layout of
+such a building" — architects and engineers collaboratively steer vents
+while watching temperature cut-planes.
+
+Model: temperature advection-diffusion on a 3D room grid with a
+prescribed ventilation flow field (inlet jet at one wall, outlet at the
+opposite wall), buoyancy-free, explicit upwind/FTCS stepping with a
+stability guard.  Steerable: inlet flow speed, inlet temperature, and the
+internal heat load (visitors + exhibits).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SteeringError
+from repro.sims.base import Simulation
+
+
+class BuildingClimate(Simulation):
+    """Temperature field of an exhibition hall under steerable ventilation.
+
+    Grid indices: x along the hall length (inlet at x=0 wall, outlet at
+    x=-1), y across, z vertical.
+    """
+
+    STEERABLE = ("vent_speed", "vent_temperature", "heat_load")
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int] = (24, 16, 8),
+        vent_speed: float = 0.3,
+        vent_temperature: float = 18.0,
+        ambient: float = 26.0,
+        heat_load: float = 0.5,
+        diffusivity: float = 0.08,
+        dt: float = 0.5,
+        seed: int = 11,
+    ) -> None:
+        super().__init__()
+        if len(shape) != 3 or min(shape) < 4:
+            raise SteeringError("building grid must be 3D with sides >= 4")
+        self.shape = tuple(int(s) for s in shape)
+        self.vent_speed = float(vent_speed)
+        self.vent_temperature = float(vent_temperature)
+        self.ambient = float(ambient)
+        self.heat_load = float(heat_load)
+        self.diffusivity = float(diffusivity)
+        self.dt = float(dt)
+        self._check_stability()
+
+        rng = np.random.default_rng(seed)
+        self.temperature = ambient + 0.5 * rng.standard_normal(self.shape)
+        # Heat sources: a few exhibit "cars" on the floor radiating heat.
+        self.sources = np.zeros(self.shape)
+        nx, ny, _ = self.shape
+        for cx, cy in ((nx // 4, ny // 3), (nx // 2, 2 * ny // 3), (3 * nx // 4, ny // 3)):
+            self.sources[cx - 1 : cx + 2, cy - 1 : cy + 2, 0:2] = 1.0
+
+    def _check_stability(self) -> None:
+        # Explicit scheme: CFL for advection and r <= 1/6 for 3D diffusion.
+        if self.vent_speed * self.dt >= 1.0:
+            raise SteeringError(
+                f"vent_speed {self.vent_speed} * dt {self.dt} violates CFL"
+            )
+        if self.diffusivity * self.dt > 1.0 / 6.0:
+            raise SteeringError("diffusivity * dt exceeds 3D explicit limit (1/6)")
+
+    # -- flow field -------------------------------------------------------
+
+    def flow_field(self) -> np.ndarray:
+        """Prescribed ventilation velocity (3, X, Y, Z): an inlet jet that
+        decays across the hall plus a gentle vertical recirculation."""
+        nx, ny, nz = self.shape
+        x = np.linspace(0.0, 1.0, nx)[:, None, None]
+        z = np.linspace(0.0, 1.0, nz)[None, None, :]
+        u = np.zeros((3,) + self.shape)
+        # Jet strongest near the inlet wall and near the ceiling duct.
+        u[0] = self.vent_speed * (1.0 - 0.6 * x) * (0.4 + 0.6 * z)
+        u[2] = -0.2 * self.vent_speed * np.sin(np.pi * x) * z
+        return u
+
+    def advance(self) -> None:
+        T = self.temperature
+        u = self.flow_field()
+        dt = self.dt
+
+        # First-order upwind advection (flow is predominantly +x, -z).
+        dT = np.zeros_like(T)
+        for axis in range(3):
+            vel = u[axis]
+            fwd = np.roll(T, -1, axis=axis)
+            back = np.roll(T, 1, axis=axis)
+            dT -= dt * np.where(vel > 0, vel * (T - back), vel * (fwd - T))
+
+        # Diffusion (FTCS 7-point Laplacian), insulated walls handled by
+        # the boundary overwrite below.
+        lap = -6.0 * T
+        for axis in range(3):
+            lap += np.roll(T, 1, axis=axis) + np.roll(T, -1, axis=axis)
+        dT += dt * self.diffusivity * lap
+
+        # Internal heat load.
+        dT += dt * self.heat_load * self.sources
+
+        self.temperature = T + dT
+        # Boundary conditions: inlet wall held at vent temperature over the
+        # duct area; outlet wall is outflow (zero-gradient); other walls
+        # relax slowly toward ambient (imperfect insulation).
+        nz = self.shape[2]
+        self.temperature[0, :, nz // 2 :] = self.vent_temperature
+        self.temperature[-1] = self.temperature[-2]
+        alpha = 0.02
+        for sl in (
+            (slice(None), 0),
+            (slice(None), -1),
+        ):
+            self.temperature[sl] += alpha * (self.ambient - self.temperature[sl])
+        self.temperature[:, :, -1] += alpha * (self.ambient - self.temperature[:, :, -1])
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def mean_temperature(self) -> float:
+        return float(self.temperature.mean())
+
+    def comfort_fraction(self, lo: float = 20.0, hi: float = 24.0) -> float:
+        """Fraction of occupied volume (z < half) within the comfort band."""
+        occupied = self.temperature[:, :, : self.shape[2] // 2]
+        ok = (occupied >= lo) & (occupied <= hi)
+        return float(ok.mean())
+
+    # -- steering surface -----------------------------------------------------
+
+    def steerable_parameters(self) -> dict[str, Any]:
+        return {
+            "vent_speed": self.vent_speed,
+            "vent_temperature": self.vent_temperature,
+            "heat_load": self.heat_load,
+        }
+
+    def set_parameter(self, name: str, value: Any) -> None:
+        if name == "vent_speed":
+            value = float(value)
+            if value < 0:
+                raise SteeringError("vent_speed must be >= 0")
+            old = self.vent_speed
+            self.vent_speed = value
+            try:
+                self._check_stability()
+            except SteeringError:
+                self.vent_speed = old
+                raise
+        elif name == "vent_temperature":
+            self.vent_temperature = float(value)
+        elif name == "heat_load":
+            value = float(value)
+            if value < 0:
+                raise SteeringError("heat_load must be >= 0")
+            self.heat_load = value
+        else:
+            raise SteeringError(f"BuildingClimate has no steerable parameter {name!r}")
+
+    def observables(self) -> dict[str, float]:
+        out = super().observables()
+        out["mean_temperature"] = self.mean_temperature()
+        out["comfort_fraction"] = self.comfort_fraction()
+        out["vent_temperature"] = self.vent_temperature
+        return out
+
+    def sample(self) -> dict[str, Any]:
+        return {
+            "step": self.step_count,
+            "temperature": self.temperature.astype(np.float32),
+        }
+
+    def checkpoint(self) -> dict[str, Any]:
+        return {
+            "shape": self.shape,
+            "temperature": self.temperature.copy(),
+            "vent_speed": self.vent_speed,
+            "vent_temperature": self.vent_temperature,
+            "heat_load": self.heat_load,
+            "time": self.time,
+            "step_count": self.step_count,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        if tuple(state["shape"]) != self.shape:
+            raise SteeringError("checkpoint grid shape mismatch")
+        self.temperature = state["temperature"].copy()
+        self.vent_speed = state["vent_speed"]
+        self.vent_temperature = state["vent_temperature"]
+        self.heat_load = state["heat_load"]
+        self.time = state["time"]
+        self.step_count = state["step_count"]

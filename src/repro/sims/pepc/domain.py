@@ -1,0 +1,46 @@
+"""Space-filling-curve domain decomposition for PEPC.
+
+Section 3.4 ships "information on the tree structure, at present
+consisting of a set of node coordinates representing each processor
+domain" so the user can see "tree domains as transparent or solid boxes".
+This module computes exactly that: a Morton-curve partition of the
+particles over P virtual processors, plus each processor's bounding box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.parallel.decomp import morton_partition
+
+
+def assign_domains(
+    positions: np.ndarray, nranks: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Partition particles over ``nranks`` processors along the SFC.
+
+    Returns ``(proc (N,), boxes (nranks, 2, 3))`` where ``proc[i]`` is the
+    owning processor of particle ``i`` and ``boxes[r]`` the (lo, hi)
+    bounding box of processor ``r``'s particles (degenerate boxes for
+    empty processors collapse to the domain centre).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise SimulationError("positions must be (N, 3)")
+    if nranks < 1:
+        raise SimulationError("nranks must be >= 1")
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    owner, lists = morton_partition(positions, nranks, lo, lo + span)
+    boxes = np.zeros((nranks, 2, 3))
+    centre = 0.5 * (lo + hi)
+    for r, idx in enumerate(lists):
+        if len(idx) == 0:
+            boxes[r, 0] = centre
+            boxes[r, 1] = centre
+        else:
+            boxes[r, 0] = positions[idx].min(axis=0)
+            boxes[r, 1] = positions[idx].max(axis=0)
+    return owner, boxes

@@ -1,0 +1,131 @@
+"""Mesh-mapped diagnostics: the paper's stated future extension.
+
+Section 3.4: "A future extension will also provide selected diagnostic
+quantities mapped onto a user-defined mesh, such as charge density,
+current, electric fields and laser intensity."
+
+Implemented here: cloud-in-cell (CIC) deposition of charge density and
+current density onto a user-defined uniform mesh, the electric-field
+magnitude sampled on the same mesh, and the analytic laser-intensity
+profile.  All vectorized; outputs are plain ndarrays ready to ship as
+VISIT samples or feed the COVISE pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sims.pepc.force import direct_field
+
+
+class DiagnosticMesh:
+    """A user-defined uniform mesh over ``[lo, hi]`` with ``shape`` cells."""
+
+    def __init__(self, lo, hi, shape=(16, 16, 16)) -> None:
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+        if self.lo.shape != (3,) or self.hi.shape != (3,):
+            raise SimulationError("mesh bounds must be 3-vectors")
+        if np.any(self.hi <= self.lo):
+            raise SimulationError("mesh needs hi > lo on every axis")
+        self.shape = tuple(int(s) for s in shape)
+        if len(self.shape) != 3 or min(self.shape) < 2:
+            raise SimulationError("mesh shape must be 3D with sides >= 2")
+        self.spacing = (self.hi - self.lo) / np.array(self.shape)
+        self.cell_volume = float(np.prod(self.spacing))
+
+    def _cic_weights(self, positions: np.ndarray):
+        """CIC: fractional cell coords + the 8 corner indices/weights."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise SimulationError("positions must be (N, 3)")
+        # Deposit on the node grid (shape + 1 nodes per axis would be the
+        # staggered choice; we use cell-centred with clamping).
+        frac = (positions - self.lo) / self.spacing - 0.5
+        maxi = np.array(self.shape) - 1
+        frac = np.clip(frac, 0.0, maxi - 1e-9)
+        i0 = np.minimum(frac.astype(np.intp), maxi - 1)
+        d = frac - i0
+        return i0, d
+
+    def deposit(self, positions: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """CIC-deposit per-particle ``weights`` onto the mesh (density:
+        weight per cell volume)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        i0, d = self._cic_weights(positions)
+        field = np.zeros(self.shape)
+        for dx in (0, 1):
+            wx = d[:, 0] if dx else 1.0 - d[:, 0]
+            for dy in (0, 1):
+                wy = d[:, 1] if dy else 1.0 - d[:, 1]
+                for dz in (0, 1):
+                    wz = d[:, 2] if dz else 1.0 - d[:, 2]
+                    np.add.at(
+                        field,
+                        (i0[:, 0] + dx, i0[:, 1] + dy, i0[:, 2] + dz),
+                        weights * wx * wy * wz,
+                    )
+        return field / self.cell_volume
+
+    # -- the four diagnostics of section 3.4 --------------------------------------
+
+    def charge_density(self, sim) -> np.ndarray:
+        """rho(x): CIC deposition of particle charges."""
+        return self.deposit(sim.positions, sim.charges)
+
+    def current_density(self, sim) -> np.ndarray:
+        """J(x): (3, *shape) — CIC deposition of q*v per component."""
+        q = sim.charges
+        out = np.empty((3,) + self.shape)
+        for a in range(3):
+            out[a] = self.deposit(sim.positions, q * sim.velocities[:, a])
+        return out
+
+    def electric_field_magnitude(self, sim, subsample: int = 2) -> np.ndarray:
+        """|E|(x) sampled at mesh centres (direct sum at reduced mesh
+        resolution — an expensive diagnostic, as in the original)."""
+        shape = tuple(max(2, s // subsample) for s in self.shape)
+        axes = [
+            np.linspace(self.lo[a] + 0.5 * self.spacing[a],
+                        self.hi[a] - 0.5 * self.spacing[a], shape[a])
+            for a in range(3)
+        ]
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        targets = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+        E, _ = direct_field(sim.positions, sim.charges, eps=sim.eps,
+                            targets=targets)
+        return np.linalg.norm(E, axis=1).reshape(shape)
+
+    def laser_intensity(self, sim) -> np.ndarray:
+        """I(x): the analytic laser profile on the mesh.
+
+        The driver is a plane wave along ``laser_direction`` with a
+        Gaussian transverse envelope around the beam axis; intensity
+        scales with the square of the field amplitude.
+        """
+        axes = [
+            np.linspace(self.lo[a] + 0.5 * self.spacing[a],
+                        self.hi[a] - 0.5 * self.spacing[a], self.shape[a])
+            for a in range(3)
+        ]
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        pts = np.stack([gx, gy, gz], axis=-1)
+        k = sim.laser_direction
+        along = pts @ k
+        transverse = pts - along[..., None] * k
+        r2 = np.einsum("...i,...i->...", transverse, transverse)
+        waist2 = 1.0
+        amplitude = sim.laser_intensity * np.exp(-r2 / waist2)
+        return amplitude**2
+
+    def all_diagnostics(self, sim) -> dict:
+        """The full future-extension sample, ready for a VISIT DataSend."""
+        return {
+            "charge_density": self.charge_density(sim).astype(np.float32),
+            "current_density": self.current_density(sim).astype(np.float32),
+            "e_field_magnitude": self.electric_field_magnitude(sim).astype(
+                np.float32
+            ),
+            "laser_intensity": self.laser_intensity(sim).astype(np.float32),
+        }

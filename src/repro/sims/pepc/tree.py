@@ -1,0 +1,144 @@
+"""Octree construction for the Barnes-Hut force solver.
+
+Recursive spatial bisection down to ``leaf_size`` particles per leaf.
+Monopole moments per node: total charge and the |charge|-weighted centre
+(using |q| keeps the expansion centre inside the charge distribution even
+for near-neutral plasma nodes, where the plain charge-weighted centre
+diverges).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class OctreeNode:
+    """One node: cube ``[center - half, center + half]`` per axis."""
+
+    __slots__ = (
+        "center",
+        "half",
+        "children",
+        "indices",
+        "charge",
+        "abs_charge",
+        "com",
+        "count",
+        "depth",
+    )
+
+    def __init__(self, center: np.ndarray, half: float, depth: int) -> None:
+        self.center = center
+        self.half = half
+        self.depth = depth
+        self.children: Optional[list["OctreeNode"]] = None
+        self.indices: Optional[np.ndarray] = None  # leaf payload
+        self.charge = 0.0
+        self.abs_charge = 0.0
+        self.com = center.copy()
+        self.count = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    @property
+    def size(self) -> float:
+        """Edge length of the node cube (the 's' of the s/d criterion)."""
+        return 2.0 * self.half
+
+
+class Octree:
+    """The built tree plus global metadata."""
+
+    def __init__(self, root: OctreeNode, positions: np.ndarray, charges: np.ndarray) -> None:
+        self.root = root
+        self.positions = positions
+        self.charges = charges
+        self.node_count = 0
+        self.leaf_count = 0
+        self.max_depth = 0
+        for node in self.walk():
+            self.node_count += 1
+            self.max_depth = max(self.max_depth, node.depth)
+            if node.is_leaf:
+                self.leaf_count += 1
+
+    def walk(self):
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.children is not None:
+                stack.extend(node.children)
+
+
+_MAX_DEPTH = 40
+
+
+def build_octree(
+    positions: np.ndarray,
+    charges: np.ndarray,
+    leaf_size: int = 16,
+) -> Octree:
+    """Build a Barnes-Hut octree over ``positions`` with ``charges``."""
+    positions = np.asarray(positions, dtype=np.float64)
+    charges = np.asarray(charges, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise SimulationError("positions must be (N, 3)")
+    if charges.shape != (len(positions),):
+        raise SimulationError("charges must be (N,)")
+    if len(positions) == 0:
+        raise SimulationError("cannot build a tree over zero particles")
+    if leaf_size < 1:
+        raise SimulationError("leaf_size must be >= 1")
+
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    center = 0.5 * (lo + hi)
+    half = float(0.5 * (hi - lo).max()) * 1.0001 + 1e-12
+
+    abs_q = np.abs(charges)
+
+    def make(indices: np.ndarray, center: np.ndarray, half: float, depth: int) -> OctreeNode:
+        node = OctreeNode(center, half, depth)
+        node.count = len(indices)
+        q = charges[indices]
+        aq = abs_q[indices]
+        node.charge = float(q.sum())
+        node.abs_charge = float(aq.sum())
+        if node.abs_charge > 0:
+            node.com = (positions[indices] * aq[:, None]).sum(axis=0) / node.abs_charge
+        else:
+            node.com = positions[indices].mean(axis=0)
+        if len(indices) <= leaf_size or depth >= _MAX_DEPTH:
+            node.indices = indices
+            return node
+        # Partition into octants.
+        rel = positions[indices] >= center[None, :]
+        octant = rel[:, 0].astype(np.intp) | (rel[:, 1].astype(np.intp) << 1) | (
+            rel[:, 2].astype(np.intp) << 2
+        )
+        children = []
+        quarter = half / 2.0
+        for o in range(8):
+            sub = indices[octant == o]
+            if len(sub) == 0:
+                continue
+            offset = np.array(
+                [
+                    quarter if o & 1 else -quarter,
+                    quarter if o & 2 else -quarter,
+                    quarter if o & 4 else -quarter,
+                ]
+            )
+            children.append(make(sub, center + offset, quarter, depth + 1))
+        node.children = children
+        return node
+
+    root = make(np.arange(len(positions), dtype=np.intp), center, half, 0)
+    return Octree(root, positions, charges)

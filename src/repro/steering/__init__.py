@@ -1,0 +1,70 @@
+"""The steering core: the paper's primary contribution.
+
+RealityGrid-style computational steering (section 2): an application is
+*instrumented* with a lean API — it registers steerable parameters, emits
+samples for visualization, and polls for control messages at points it
+chooses (so steering can never preempt the simulation, matching both the
+RealityGrid API and VISIT's simulation-initiates-everything rule).
+
+On top of the per-application surface sit the *collaborative* pieces
+(sections 2.4, 3.3, 4): a session with master/observer roles and
+master-token passing, and the low-latency control-state server that
+"collects and redistributes the control data" (view angles, cutting-plane
+parameters) outside the heavyweight middleware path.
+
+Mid-session migration of the computation (section 2.4: "RealityGrid is
+developing the ability to migrate both computation and visualization
+within a session without any disturbance") is implemented over the
+checkpoint/restore surface.
+"""
+
+from repro.steering.params import ParameterDef, ParameterRegistry
+from repro.steering.control import (
+    Ack,
+    CheckpointCmd,
+    GetStatus,
+    Pause,
+    Resume,
+    SampleMsg,
+    SetParam,
+    StatusReport,
+    Stop,
+    decode_message,
+    encode_message,
+)
+from repro.steering.api import LinkAdapter, SteeredApplication
+from repro.steering.client import SteeringClient
+from repro.steering.session import CollaborativeSession, Role
+from repro.steering.collab import ControlStateServer
+from repro.steering.migration import migrate_simulation
+from repro.steering.runner import steered_app_process
+from repro.steering.orchestrator import (
+    RealityGridOrchestrator,
+    make_outbound_app_factory,
+)
+
+__all__ = [
+    "ParameterDef",
+    "ParameterRegistry",
+    "SetParam",
+    "Pause",
+    "Resume",
+    "Stop",
+    "CheckpointCmd",
+    "GetStatus",
+    "Ack",
+    "StatusReport",
+    "SampleMsg",
+    "encode_message",
+    "decode_message",
+    "SteeredApplication",
+    "LinkAdapter",
+    "SteeringClient",
+    "CollaborativeSession",
+    "Role",
+    "ControlStateServer",
+    "migrate_simulation",
+    "steered_app_process",
+    "RealityGridOrchestrator",
+    "make_outbound_app_factory",
+]

@@ -1,0 +1,224 @@
+"""Application-side steering instrumentation.
+
+:class:`SteeredApplication` wraps any :class:`repro.sims.base.Simulation`
+and gives it the RealityGrid/VISIT application surface:
+
+* parameters are auto-registered from ``sim.steerable_parameters()`` and
+  ``sim.observables()``;
+* the main loop calls :meth:`step_once`, which polls attached control
+  links, applies commands, advances the simulation if not paused, and
+  emits samples every ``sample_interval`` steps;
+* *everything is initiated by the application* — a dead or slow steering
+  client can never block the simulation, which is the central VISIT design
+  goal (section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import SteeringError
+from repro.steering.control import (
+    Ack,
+    CheckpointCmd,
+    GetStatus,
+    Pause,
+    Resume,
+    SampleMsg,
+    SetParam,
+    StatusReport,
+    Stop,
+)
+from repro.steering.params import ParameterDef, ParameterRegistry
+from repro.util.ids import IdAllocator
+
+
+class LinkAdapter:
+    """Adapts a :class:`repro.net.Connection` to the poll-style duplex
+    interface (``send`` / ``poll``) the steering layer uses.
+
+    In-memory :class:`repro.net.SyncPipe` endpoints already satisfy the
+    interface and need no adapter.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, obj: Any, size: Optional[int] = None) -> None:
+        self._conn.send(obj, size=size)
+
+    def poll(self):
+        return self._conn.try_recv()
+
+
+class SteeredApplication:
+    """A simulation instrumented for (collaborative) steering."""
+
+    def __init__(
+        self,
+        sim,
+        name: str = "app",
+        sample_interval: int = 1,
+        param_defs: Optional[list[ParameterDef]] = None,
+    ) -> None:
+        if sample_interval < 1:
+            raise SteeringError("sample_interval must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.sample_interval = sample_interval
+        self.registry = ParameterRegistry()
+        self._control_links: list = []
+        self._sample_sinks: list = []
+        self.paused = False
+        self.stopped = False
+        self.commands_applied = 0
+        self.samples_emitted = 0
+        self._sample_seq = 0
+        self._ckpt_ids = IdAllocator(f"{name}-ckpt")
+        self.checkpoints: dict[str, dict] = {}
+
+        overrides = {d.name: d for d in (param_defs or [])}
+        for pname in sim.steerable_parameters():
+            definition = overrides.get(
+                pname, ParameterDef(pname, kind="steered")
+            )
+            self.registry.register(
+                definition,
+                getter=lambda n=pname: self.sim.steerable_parameters()[n],
+                setter=lambda v, n=pname: self.sim.set_parameter(n, v),
+            )
+        for oname in sim.observables():
+            if oname in self.registry:
+                continue
+            self.registry.register(
+                ParameterDef(oname, kind="monitored"),
+                getter=lambda n=oname: self.sim.observables()[n],
+            )
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach_control(self, link) -> None:
+        """Attach a duplex control link (client, service, or proxy end)."""
+        self._control_links.append(link)
+
+    def attach_sample_sink(self, link) -> None:
+        """Attach a sink that receives emitted samples."""
+        self._sample_sinks.append(link)
+
+    # -- command processing -----------------------------------------------------
+
+    def process_control(self) -> int:
+        """Drain all control links and apply commands; returns how many.
+
+        Non-blocking by construction; failures are reported back as error
+        acks, never raised into the simulation loop.
+        """
+        applied = 0
+        for link in self._control_links:
+            while True:
+                ok, msg = link.poll()
+                if not ok:
+                    break
+                applied += self._apply(link, msg)
+        return applied
+
+    def _apply(self, link, msg) -> int:
+        if isinstance(msg, SetParam):
+            try:
+                self.registry.set(msg.name, msg.value)
+            except SteeringError as exc:
+                link.send(Ack(msg.seq, False, "SetParam", error=str(exc)))
+                return 0
+            link.send(
+                Ack(msg.seq, True, "SetParam", result=self.registry.get(msg.name))
+            )
+        elif isinstance(msg, Pause):
+            self.paused = True
+            link.send(Ack(msg.seq, True, "Pause"))
+        elif isinstance(msg, Resume):
+            self.paused = False
+            link.send(Ack(msg.seq, True, "Resume"))
+        elif isinstance(msg, Stop):
+            self.stopped = True
+            link.send(Ack(msg.seq, True, "Stop"))
+        elif isinstance(msg, CheckpointCmd):
+            try:
+                ckpt_id = self._ckpt_ids.next()
+                self.checkpoints[ckpt_id] = self.sim.checkpoint()
+                link.send(Ack(msg.seq, True, "CheckpointCmd", result=ckpt_id))
+            except SteeringError as exc:
+                link.send(Ack(msg.seq, False, "CheckpointCmd", error=str(exc)))
+                return 0
+        elif isinstance(msg, GetStatus):
+            link.send(self.status())
+        else:
+            link.send(
+                Ack(
+                    getattr(msg, "seq", -1),
+                    False,
+                    type(msg).__name__,
+                    error="unknown command",
+                )
+            )
+            return 0
+        self.commands_applied += 1
+        return 1
+
+    def status(self) -> StatusReport:
+        return StatusReport(
+            step=self.sim.step_count,
+            time=self.sim.time,
+            observables=self.sim.observables(),
+            parameters={
+                n: self.registry.get(n) for n in self.registry.names("steered")
+            },
+            paused=self.paused,
+        )
+
+    # -- sample emission -------------------------------------------------------
+
+    def emit_sample(self) -> SampleMsg:
+        """Emit one sample to every sink regardless of the interval."""
+        self._sample_seq += 1
+        msg = SampleMsg(
+            seq=self._sample_seq,
+            step=self.sim.step_count,
+            data=self.sim.sample(),
+            source=self.name,
+        )
+        for sink in self._sample_sinks:
+            sink.send(msg)
+        self.samples_emitted += 1
+        return msg
+
+    # -- main loop ---------------------------------------------------------------
+
+    def step_once(self) -> bool:
+        """One instrumented iteration; returns False once stopped."""
+        self.process_control()
+        if self.stopped:
+            return False
+        if not self.paused:
+            self.sim.step()
+            if self.sim.step_count % self.sample_interval == 0:
+                self.emit_sample()
+        return True
+
+    def run(self, max_steps: int) -> int:
+        """Run until stopped or ``max_steps`` simulation steps advanced.
+
+        Note that a paused application still polls its control links (that
+        is how it can be resumed).
+        """
+        advanced = 0
+        while advanced < max_steps:
+            before = self.sim.step_count
+            if not self.step_once():
+                break
+            if self.sim.step_count > before:
+                advanced += 1
+            elif self.paused:
+                # Paused and nothing to do: in the synchronous harness the
+                # caller decides when to poll again.
+                break
+        return advanced

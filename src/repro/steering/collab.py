@@ -1,0 +1,120 @@
+"""The external control-state server of section 3.3.
+
+"Like video and audio, the exchange of control information between the
+visualizations is sensitive to latency if a 'sense of presence' is to be
+created...  Therefore we do currently not use UNICORE communication
+mechanisms for that purpose.  Instead, we have implemented an external
+server that collects and redistributes the control data.  This server
+allows to assign different roles to the participants: one role allows to
+change visualization parameters like the view angle and a second role is
+just for passive viewers."
+
+The server keeps a keyed state dictionary (view angle, cutting-plane
+position, thresholds...).  Controllers may update keys; every update is
+redistributed to all other participants.  Viewers only receive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SteeringError
+
+
+@dataclass
+class StateUpdate:
+    """One control-state change: key, value, origin, version."""
+
+    key: str
+    value: Any
+    origin: str
+    version: int = 0
+
+
+@dataclass
+class _Member:
+    name: str
+    link: object
+    role: str  # "controller" | "viewer"
+    updates_sent: int = 0
+    updates_received: int = 0
+    rejected: int = 0
+
+
+class ControlStateServer:
+    """Collects and redistributes low-latency control data."""
+
+    ROLES = ("controller", "viewer")
+
+    def __init__(self) -> None:
+        self._members: dict[str, _Member] = {}
+        self.state: dict[str, Any] = {}
+        self.versions: dict[str, int] = {}
+        self._version_counter = 0
+
+    # -- membership --------------------------------------------------------
+
+    def join(self, name: str, link, role: str = "viewer") -> None:
+        if role not in self.ROLES:
+            raise SteeringError(f"role must be one of {self.ROLES}, got {role!r}")
+        if name in self._members:
+            raise SteeringError(f"member {name!r} already joined")
+        self._members[name] = _Member(name, link, role)
+        # Late joiners get the full current state so their view converges.
+        for key in sorted(self.state):
+            link.send(
+                StateUpdate(key, self.state[key], origin="<server>",
+                            version=self.versions[key])
+            )
+
+    def leave(self, name: str) -> None:
+        if name not in self._members:
+            raise SteeringError(f"unknown member {name!r}")
+        del self._members[name]
+
+    def set_role(self, name: str, role: str) -> None:
+        if role not in self.ROLES:
+            raise SteeringError(f"bad role {role!r}")
+        member = self._members.get(name)
+        if member is None:
+            raise SteeringError(f"unknown member {name!r}")
+        member.role = role
+
+    def members(self) -> dict[str, str]:
+        return {m.name: m.role for m in self._members.values()}
+
+    # -- traffic -----------------------------------------------------------------
+
+    def pump(self) -> dict:
+        """Collect updates from controllers; redistribute to everyone else."""
+        stats = {"applied": 0, "rejected": 0, "redistributed": 0}
+        for member in list(self._members.values()):
+            while True:
+                ok, msg = member.link.poll()
+                if not ok:
+                    break
+                if not isinstance(msg, StateUpdate):
+                    member.rejected += 1
+                    stats["rejected"] += 1
+                    continue
+                if member.role != "controller":
+                    member.rejected += 1
+                    stats["rejected"] += 1
+                    continue
+                self._version_counter += 1
+                update = StateUpdate(
+                    msg.key, msg.value, origin=member.name,
+                    version=self._version_counter,
+                )
+                self.state[msg.key] = msg.value
+                self.versions[msg.key] = update.version
+                member.updates_sent += 1
+                stats["applied"] += 1
+                for other in self._members.values():
+                    if other.name == member.name:
+                        continue
+                    other.link.send(update)
+                    other.updates_received += 1
+                    stats["redistributed"] += 1
+        return stats

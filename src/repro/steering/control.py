@@ -1,0 +1,133 @@
+"""The steering control protocol: commands, replies, sample messages.
+
+Messages are plain dataclasses with a symmetric wire form (dicts through
+:mod:`repro.wire.codec`) so the same protocol rides every transport in the
+paper: direct links, VISIT receive-requests, the UNICORE proxy relay, and
+OGSA service calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class SetParam:
+    """Change a steered parameter (the miscibility slider of section 2.2)."""
+
+    name: str
+    value: Any
+    seq: int = 0
+    sender: str = ""
+
+
+@dataclass
+class Pause:
+    seq: int = 0
+    sender: str = ""
+
+
+@dataclass
+class Resume:
+    seq: int = 0
+    sender: str = ""
+
+
+@dataclass
+class Stop:
+    seq: int = 0
+    sender: str = ""
+
+
+@dataclass
+class CheckpointCmd:
+    """Request a checkpoint; the ack carries its id (migration input)."""
+
+    seq: int = 0
+    sender: str = ""
+
+
+@dataclass
+class GetStatus:
+    seq: int = 0
+    sender: str = ""
+
+
+@dataclass
+class Ack:
+    """Reply to a command: ok/error plus an optional result payload."""
+
+    seq: int
+    ok: bool
+    command: str
+    error: str = ""
+    result: Any = None
+
+
+@dataclass
+class StatusReport:
+    """Monitored values + steered-parameter snapshot, sent on request."""
+
+    step: int
+    time: float
+    observables: dict = field(default_factory=dict)
+    parameters: dict = field(default_factory=dict)
+    paused: bool = False
+
+
+@dataclass
+class SampleMsg:
+    """One emitted visualization sample (section 2.1: the simulation
+    "periodically ... emits 'samples' for consumption by the
+    visualization component")."""
+
+    seq: int
+    step: int
+    data: dict = field(default_factory=dict)
+    source: str = ""
+
+
+_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        SetParam,
+        Pause,
+        Resume,
+        Stop,
+        CheckpointCmd,
+        GetStatus,
+        Ack,
+        StatusReport,
+        SampleMsg,
+    )
+}
+
+COMMAND_TYPES = (SetParam, Pause, Resume, Stop, CheckpointCmd, GetStatus)
+
+
+def encode_message(msg: Any) -> dict:
+    """Dataclass -> wire dict with a ``_kind`` discriminator."""
+    kind = type(msg).__name__
+    if kind not in _TYPES:
+        raise ProtocolError(f"not a steering message: {msg!r}")
+    out = {"_kind": kind}
+    out.update(msg.__dict__)
+    return out
+
+
+def decode_message(payload: dict) -> Any:
+    """Wire dict -> dataclass instance."""
+    if not isinstance(payload, dict) or "_kind" not in payload:
+        raise ProtocolError(f"malformed steering message: {payload!r}")
+    kind = payload["_kind"]
+    cls = _TYPES.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown steering message kind {kind!r}")
+    kwargs = {k: v for k, v in payload.items() if k != "_kind"}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ProtocolError(f"bad fields for {kind}: {exc}") from None

@@ -1,0 +1,56 @@
+"""Mid-session migration of the computation.
+
+Section 2.4: "RealityGrid is developing the ability to migrate both
+computation and visualization within a session without any disturbance or
+intervention on the part of the participating clients."
+
+Implemented over the checkpoint/restore surface: checkpoint the running
+simulation, construct its replacement (nominally on another host), restore
+the state, and splice the new simulation into the existing
+:class:`~repro.steering.api.SteeredApplication` so attached clients and
+sample sinks never notice — sequence numbers and registered parameters
+carry straight over.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SteeringError
+from repro.steering.api import SteeredApplication
+
+
+def migrate_simulation(
+    app: SteeredApplication,
+    factory: Callable[[], object],
+) -> object:
+    """Swap ``app``'s simulation for a fresh instance built by ``factory``.
+
+    Returns the new simulation.  The factory builds an *uninitialized*
+    compatible simulation (same class/configuration); its state is then
+    overwritten from the live checkpoint.  Raises
+    :class:`~repro.errors.SteeringError` and leaves the original in place
+    if anything goes wrong — failed migration must not kill the session.
+    """
+    state = app.sim.checkpoint()
+    replacement = factory()
+    try:
+        replacement.restore(state)
+    except Exception as exc:
+        raise SteeringError(f"migration restore failed: {exc}") from exc
+
+    if replacement.step_count != app.sim.step_count:
+        raise SteeringError(
+            "migration produced inconsistent step counts "
+            f"({replacement.step_count} != {app.sim.step_count})"
+        )
+
+    old_params = set(app.sim.steerable_parameters())
+    new_params = set(replacement.steerable_parameters())
+    if old_params != new_params:
+        raise SteeringError(
+            f"migration changed the steerable surface: {old_params ^ new_params}"
+        )
+
+    app.sim = replacement
+    return replacement

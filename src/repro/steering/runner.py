@@ -1,0 +1,43 @@
+"""DES process driving a steered application with a compute-cost model.
+
+The synchronous :meth:`SteeredApplication.run` is fine for unit tests;
+distributed scenarios need the simulation to *cost virtual time* so that
+steering latency, sample latency and feedback loops are measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.steering.api import SteeredApplication
+
+
+def steered_app_process(
+    env,
+    app: SteeredApplication,
+    compute_time: Union[float, Callable] = 0.01,
+    max_steps: Optional[int] = None,
+    idle_poll: float = 0.05,
+):
+    """Generator: the instrumented main loop under virtual time.
+
+    ``compute_time`` is seconds of virtual compute per simulation step,
+    or a callable ``f(sim) -> seconds`` for size-dependent cost models.
+    A paused application keeps polling its control links every
+    ``idle_poll`` seconds — that is how it hears the Resume.
+    """
+    steps = 0
+    while not app.stopped and (max_steps is None or steps < max_steps):
+        app.process_control()
+        if app.stopped:
+            break
+        if app.paused:
+            yield env.timeout(idle_poll)
+            continue
+        cost = compute_time(app.sim) if callable(compute_time) else compute_time
+        yield env.timeout(cost)
+        app.sim.step()
+        if app.sim.step_count % app.sample_interval == 0:
+            app.emit_sample()
+        steps += 1
+    return steps

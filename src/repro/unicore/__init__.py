@@ -1,0 +1,42 @@
+"""UNICORE: UNiform Interface to COmputing REsources (reproduction).
+
+The three-tier architecture of section 3.1:
+
+* **client** — "construct, submit and control the execution of
+  computational jobs" (:mod:`repro.unicore.client`);
+* **servers** — Gateways as "point-of-entry into the protected domains of
+  the HPC centres" (single fixed TCP port, strong authentication) and
+  Network Job Supervisors "that adapt the abstract UNICORE job for the
+  specific HPC system" via *incarnation* (:mod:`repro.unicore.gateway`,
+  :mod:`repro.unicore.njs`);
+* **target systems** — the Target System Interface runs the incarnated
+  scripts under a batch queue (:mod:`repro.unicore.tsi`).
+
+Workflows travel as Abstract Job Objects (:mod:`repro.unicore.ajo`);
+job files live in per-job USpaces (:mod:`repro.unicore.uspace`).  The
+computational-steering extension of section 3.3 — the only part needing a
+modified TSI — is :mod:`repro.unicore.visit_ext`.
+"""
+
+from repro.unicore.security import Certificate, UserIdentity
+from repro.unicore.ajo import AbstractJobObject, ExecuteTask, StageIn, StageOut
+from repro.unicore.uspace import USpace
+from repro.unicore.gateway import Gateway
+from repro.unicore.njs import NetworkJobSupervisor, JobStatus
+from repro.unicore.tsi import TargetSystemInterface
+from repro.unicore.client import UnicoreClient
+
+__all__ = [
+    "Certificate",
+    "UserIdentity",
+    "AbstractJobObject",
+    "ExecuteTask",
+    "StageIn",
+    "StageOut",
+    "USpace",
+    "Gateway",
+    "NetworkJobSupervisor",
+    "JobStatus",
+    "TargetSystemInterface",
+    "UnicoreClient",
+]

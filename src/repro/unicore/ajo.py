@@ -1,0 +1,117 @@
+"""Abstract Job Objects: UNICORE's serialized workflow unit.
+
+"The workflows being instantiated are known in UNICORE as Abstract Job
+Objects (AJOs) and are sent via ssl as serialised Java objects" (section
+2.2).  An AJO is a DAG of tasks — stage-in, execute, stage-out — kept
+deliberately *abstract*: nothing in it names site-specific paths or
+submission commands; that knowledge is added later by the NJS during
+incarnation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import UnicoreError
+
+
+@dataclass
+class ExecuteTask:
+    """Run an application on the target system.
+
+    ``application`` is an abstract name ("LB3D", "PEPC") resolved by the
+    target's incarnation database; ``wall_time`` is the virtual compute
+    duration for plain batch tasks (steered applications run until
+    stopped); ``steered`` marks tasks that attach to the VISIT proxy.
+    """
+
+    name: str
+    application: str
+    arguments: dict = field(default_factory=dict)
+    wall_time: float = 1.0
+    steered: bool = False
+
+
+@dataclass
+class StageIn:
+    """Place a named file into the job's USpace before execution."""
+
+    name: str
+    filename: str
+    data: bytes
+
+
+@dataclass
+class StageOut:
+    """Retrieve a named file from the USpace after execution."""
+
+    name: str
+    filename: str
+
+
+class AbstractJobObject:
+    """A DAG of tasks plus the target vsite it should run on."""
+
+    def __init__(self, job_name: str, vsite: str) -> None:
+        self.job_name = job_name
+        self.vsite = vsite
+        self.tasks: dict[str, Any] = {}
+        self.dependencies: dict[str, set[str]] = {}
+
+    def add_task(self, task, after: Optional[list[str]] = None) -> str:
+        """Add a task; ``after`` lists task names that must finish first."""
+        if task.name in self.tasks:
+            raise UnicoreError(f"duplicate task name {task.name!r}")
+        for dep in after or []:
+            if dep not in self.tasks:
+                raise UnicoreError(f"dependency {dep!r} not yet defined")
+        self.tasks[task.name] = task
+        self.dependencies[task.name] = set(after or [])
+        return task.name
+
+    def execution_order(self) -> list[str]:
+        """Topological order; raises on cycles (defensive — add_task's
+        defined-before rule already prevents them)."""
+        order: list[str] = []
+        done: set[str] = set()
+        remaining = dict(self.dependencies)
+        while remaining:
+            ready = sorted(n for n, deps in remaining.items() if deps <= done)
+            if not ready:
+                raise UnicoreError(f"dependency cycle among {sorted(remaining)}")
+            for name in ready:
+                order.append(name)
+                done.add(name)
+                del remaining[name]
+        return order
+
+    # -- serialization (the "serialised Java objects" of the UPL) ------------
+
+    def to_wire(self) -> dict:
+        out_tasks = {}
+        for name, task in self.tasks.items():
+            d = {"_task": type(task).__name__}
+            d.update(task.__dict__)
+            out_tasks[name] = d
+        return {
+            "job_name": self.job_name,
+            "vsite": self.vsite,
+            "tasks": out_tasks,
+            "dependencies": {k: sorted(v) for k, v in self.dependencies.items()},
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "AbstractJobObject":
+        kinds = {"ExecuteTask": ExecuteTask, "StageIn": StageIn, "StageOut": StageOut}
+        try:
+            ajo = cls(payload["job_name"], payload["vsite"])
+            for name in payload["dependencies"]:
+                raw = dict(payload["tasks"][name])
+                kind = raw.pop("_task")
+                task = kinds[kind](**raw)
+                ajo.tasks[name] = task
+                ajo.dependencies[name] = set(payload["dependencies"][name])
+        except (KeyError, TypeError) as exc:
+            raise UnicoreError(f"malformed AJO payload: {exc}") from None
+        return ajo

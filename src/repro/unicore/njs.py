@@ -1,0 +1,222 @@
+"""The Network Job Supervisor: incarnation and job lifecycle.
+
+Section 2.2: "the AJOs are translated into Perl scripts for a target
+machine.  This process is known as incarnation in the UNICORE model; it
+allows the details of the scripts used to run the workflow to be hidden
+from the application."
+
+The NJS owns the job table of its vsite: it accepts consigned AJOs from
+the gateway, *incarnates* each abstract task against the site's
+incarnation database, runs the DAG through the TSI, and serves status /
+outcome-retrieval requests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ChannelClosed, IncarnationError, UnicoreError
+from repro.unicore.ajo import AbstractJobObject, ExecuteTask, StageIn, StageOut
+from repro.unicore.tsi import IncarnatedTask, TargetSystemInterface
+from repro.unicore.uspace import USpace
+from repro.util.ids import IdAllocator
+
+
+class JobStatus(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCESSFUL = "successful"
+    FAILED = "failed"
+
+
+@dataclass
+class _Job:
+    job_id: str
+    owner: str
+    ajo: AbstractJobObject
+    uspace: USpace
+    status: JobStatus = JobStatus.QUEUED
+    task_states: dict = field(default_factory=dict)
+    error: str = ""
+    outcome: dict = field(default_factory=dict)
+
+
+class NetworkJobSupervisor:
+    """One vsite's job manager, fronted by the gateway."""
+
+    def __init__(
+        self,
+        host,
+        port: int,
+        vsite: str,
+        tsi: TargetSystemInterface,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.vsite = vsite
+        self.tsi = tsi
+        #: abstract application name -> (handler, script template)
+        self.idb: dict[str, tuple[str, str]] = {}
+        self.jobs: dict[str, _Job] = {}
+        self._job_ids = IdAllocator(f"{vsite}-job")
+        self.consigned = 0
+
+    # -- incarnation database ---------------------------------------------------
+
+    def register_application(self, application: str, handler: str) -> None:
+        """Map an abstract application name to a TSI handler."""
+        if not self.tsi.knows(handler):
+            raise IncarnationError(
+                f"TSI at {self.host.name} has no handler {handler!r}"
+            )
+        self.idb[application] = (
+            handler,
+            f"#!/usr/bin/perl\n# incarnated for {self.vsite}\nexec('{handler}');\n",
+        )
+
+    def incarnate(self, task: ExecuteTask, owner: str) -> IncarnatedTask:
+        entry = self.idb.get(task.application)
+        if entry is None:
+            raise IncarnationError(
+                f"vsite {self.vsite!r} cannot incarnate application "
+                f"{task.application!r}"
+            )
+        handler, script = entry
+        return IncarnatedTask(
+            task_name=task.name,
+            handler=handler,
+            script=script + f"# xlogin={owner}\n",
+            arguments=dict(task.arguments),
+            wall_time=task.wall_time,
+            steered=task.steered,
+        )
+
+    # -- service process -------------------------------------------------------
+
+    def start(self) -> None:
+        listener = self.host.listen(self.port)
+        env = self.host.env
+
+        def accept_loop():
+            while True:
+                conn = yield from listener.accept()
+                env.process(self._serve(conn))
+
+        env.process(accept_loop())
+
+    def _serve(self, conn):
+        while True:
+            try:
+                msg = yield from conn.recv(timeout=None)
+            except ChannelClosed:
+                return
+            reply = yield from self._handle(msg)
+            conn.send(reply)
+
+    def _handle(self, msg):
+        if not isinstance(msg, dict) or "op" not in msg or "subject" not in msg:
+            return {"ok": False, "error": "malformed NJS request"}
+        op = msg["op"]
+        subject = msg["subject"]
+        if op == "consign":
+            return self._consign(msg, subject)
+        if op == "status":
+            return self._status(msg, subject)
+        if op == "retrieve":
+            return self._retrieve(msg, subject)
+        if op == "proxy_poll":
+            result = yield from self._proxy_poll(msg, subject)
+            return result
+        return {"ok": False, "error": f"unknown op {op!r}"}
+        yield  # pragma: no cover - generator marker
+
+    def _job_for(self, msg, subject) -> _Job:
+        job = self.jobs.get(msg.get("job_id", ""))
+        if job is None:
+            raise UnicoreError(f"unknown job {msg.get('job_id')!r}")
+        if job.owner != subject:
+            raise UnicoreError(f"job belongs to {job.owner!r}, not {subject!r}")
+        return job
+
+    def _consign(self, msg, subject) -> dict:
+        try:
+            ajo = AbstractJobObject.from_wire(msg["ajo"])
+        except (KeyError, UnicoreError) as exc:
+            return {"ok": False, "error": f"bad AJO: {exc}"}
+        if ajo.vsite != self.vsite:
+            return {"ok": False, "error": f"AJO addressed to {ajo.vsite!r}"}
+        # Incarnation check up front: reject jobs this site cannot run.
+        for task in ajo.tasks.values():
+            if isinstance(task, ExecuteTask) and task.application not in self.idb:
+                return {
+                    "ok": False,
+                    "error": f"cannot incarnate {task.application!r} at {self.vsite}",
+                }
+        job_id = self._job_ids.next()
+        job = _Job(job_id, subject, ajo, USpace(job_id))
+        job.task_states = {name: "pending" for name in ajo.tasks}
+        self.jobs[job_id] = job
+        self.consigned += 1
+        self.host.env.process(self._execute(job))
+        return {"ok": True, "job_id": job_id}
+
+    def _execute(self, job: _Job):
+        job.status = JobStatus.RUNNING
+        try:
+            for name in job.ajo.execution_order():
+                task = job.ajo.tasks[name]
+                job.task_states[name] = "running"
+                if isinstance(task, StageIn):
+                    job.uspace.write(task.filename, task.data)
+                elif isinstance(task, StageOut):
+                    job.outcome[task.filename] = job.uspace.read(task.filename)
+                elif isinstance(task, ExecuteTask):
+                    incarnated = self.incarnate(task, job.owner)
+                    ok, error = yield from self.tsi.run_task(incarnated, job.uspace)
+                    if not ok:
+                        raise UnicoreError(f"task {name!r} failed: {error}")
+                else:
+                    raise UnicoreError(f"unknown task type {type(task).__name__}")
+                job.task_states[name] = "done"
+        except (UnicoreError, IncarnationError) as exc:
+            job.status = JobStatus.FAILED
+            job.error = str(exc)
+            return
+        job.status = JobStatus.SUCCESSFUL
+
+    def _status(self, msg, subject) -> dict:
+        try:
+            job = self._job_for(msg, subject)
+        except UnicoreError as exc:
+            return {"ok": False, "error": str(exc)}
+        return {
+            "ok": True,
+            "status": job.status.value,
+            "tasks": dict(job.task_states),
+            "error": job.error,
+        }
+
+    def _retrieve(self, msg, subject) -> dict:
+        try:
+            job = self._job_for(msg, subject)
+        except UnicoreError as exc:
+            return {"ok": False, "error": str(exc)}
+        filename = msg.get("filename", "")
+        data = job.outcome.get(filename)
+        if data is None:
+            return {"ok": False, "error": f"no outcome file {filename!r}"}
+        return {"ok": True, "filename": filename, "data": data, "_size": len(data)}
+
+    def _proxy_poll(self, msg, subject):
+        """Relay a VISIT-proxy poll to the TSI's proxy (section 3.3)."""
+        proxy = self.tsi.visit_proxy
+        if proxy is None:
+            return {"ok": False, "error": "no VISIT proxy at this vsite"}
+        result = yield from proxy.handle_poll(
+            subject=subject,
+            client=msg.get("client", subject),
+            responses=msg.get("responses", []),
+        )
+        return result

@@ -1,0 +1,270 @@
+"""The VISIT extension to UNICORE (section 3.3).
+
+"We have designed and implemented a connection-oriented protocol on top
+of the UNICORE protocol.  The simulation-end of that connection is formed
+by VISIT proxy-servers which are separate processes running on each
+target system.  The other end ... is located at the UNICORE client,
+implemented as a client-plugin and acting as a VISIT proxy-client.  By
+polling the target system for new data, that plugin is able to emulate
+the server capabilities that are required for the VISIT connection."
+
+Collaboration lives *in the proxy* ("for the VISIT-UNICORE extension this
+functionality has been moved into the VISIT proxy-server ... all users
+participating in the collaboration have to authenticate to the UNICORE
+system"): every polling participant receives all simulation data; only
+the master's responses answer the simulation's receive-requests.
+
+The steered application itself uses the ordinary
+:class:`~repro.visit.client.VisitClient` pointed at the proxy's local
+port — "any application that uses VISIT will be able to use the
+VISIT-UNICORE extension without modifications".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Optional
+
+from repro.errors import ChannelClosed, TimeoutExpired, UnicoreError
+from repro.unicore.client import UnicoreClient
+from repro.visit.messages import (
+    ConnectAck,
+    ConnectRequest,
+    DataRequest,
+    DataResponse,
+    DataSend,
+    VisitClose,
+    decode_visit,
+    encode_visit,
+)
+
+
+class _Participant:
+    def __init__(self, name: str, subject: str) -> None:
+        self.name = name
+        self.subject = subject
+        self.cursor = 0  # index into the proxy outbox
+        self.polls = 0
+
+
+class VisitProxyServer:
+    """Runs on the target system; the simulation's local VISIT peer."""
+
+    def __init__(self, host, port: int, password: str, byteorder: str = "<") -> None:
+        self.host = host
+        self.port = port
+        self.password = password
+        self.byteorder = byteorder
+        #: every DataSend from the simulation, in order: (time, tag, payload)
+        self.outbox: list[tuple[float, int, Any]] = []
+        #: simulation receive-requests awaiting a master response
+        self._pending: list[dict] = []
+        self._participants: dict[str, _Participant] = {}
+        self._master: Optional[str] = None
+        self.polls_served = 0
+
+    # -- collaboration roles ---------------------------------------------------
+
+    @property
+    def master(self) -> Optional[str]:
+        return self._master
+
+    def pass_master(self, to_name: str) -> None:
+        if to_name not in self._participants:
+            raise UnicoreError(f"unknown participant {to_name!r}")
+        self._master = to_name
+
+    def participants(self) -> list[str]:
+        return list(self._participants)
+
+    # -- simulation-facing VISIT service -------------------------------------------
+
+    def start(self) -> None:
+        listener = self.host.listen(self.port)
+        env = self.host.env
+
+        def accept_loop():
+            while True:
+                conn = yield from listener.accept()
+                env.process(self._serve_sim(conn))
+
+        env.process(accept_loop())
+
+    def _serve_sim(self, conn):
+        env = self.host.env
+        try:
+            blob = yield from conn.recv(timeout=30.0)
+        except (TimeoutExpired, ChannelClosed):
+            conn.close()
+            return
+        msg = decode_visit(blob)
+        if not isinstance(msg, ConnectRequest) or msg.password != self.password:
+            conn.send(encode_visit(ConnectAck(False, "bad password"), self.byteorder))
+            conn.close()
+            return
+        conn.send(
+            encode_visit(ConnectAck(True, server_name="visit-proxy"), self.byteorder)
+        )
+        while True:
+            try:
+                blob = yield from conn.recv(timeout=None)
+            except ChannelClosed:
+                return
+            msg = decode_visit(blob)
+            if isinstance(msg, DataSend):
+                self.outbox.append((env.now, msg.tag, msg.payload))
+            elif isinstance(msg, DataRequest):
+                # Park until the master's poll supplies an answer; the
+                # *simulation's own timeout* bounds its wait, so parking
+                # here costs the proxy nothing.
+                self._pending.append(
+                    {"tag": msg.tag, "seq": msg.seq, "conn": conn, "asked": env.now}
+                )
+            elif isinstance(msg, VisitClose):
+                conn.close()
+                return
+
+    # -- NJS-facing poll handling ------------------------------------------------
+
+    def handle_poll(self, subject: str, client: str, responses: list):
+        """Generator -> poll reply dict (called through the NJS).
+
+        ``responses`` are the master's answers to previously forwarded
+        receive-requests: ``[{"tag": t, "seq": s, "payload": p}, ...]``.
+        """
+        if not subject:
+            return {"ok": False, "error": "unauthenticated poll"}
+        p = self._participants.get(client)
+        if p is None:
+            p = self._participants[client] = _Participant(client, subject)
+            if self._master is None:
+                self._master = client
+        p.polls += 1
+        self.polls_served += 1
+
+        is_master = client == self._master
+        if responses and is_master:
+            self._apply_responses(responses)
+        # All participants receive every sample (fan-out via cursors).
+        new_items = [
+            {"tag": tag, "payload": payload, "sent_at": t}
+            for (t, tag, payload) in self.outbox[p.cursor :]
+        ]
+        p.cursor = len(self.outbox)
+        reply = {
+            "ok": True,
+            "data": new_items,
+            "master": self._master,
+            "requests": [
+                {"tag": r["tag"], "seq": r["seq"]} for r in self._pending
+            ]
+            if is_master
+            else [],
+        }
+        return reply
+        yield  # pragma: no cover - generator marker
+
+    def _apply_responses(self, responses: list) -> None:
+        for resp in responses:
+            matched = None
+            for r in self._pending:
+                if r["tag"] == resp.get("tag") and r["seq"] == resp.get("seq"):
+                    matched = r
+                    break
+            if matched is None:
+                continue  # simulation already gave up on it
+            self._pending.remove(matched)
+            conn = matched["conn"]
+            if not conn.closed:
+                conn.send(
+                    encode_visit(
+                        DataResponse(
+                            matched["tag"], matched["seq"], True,
+                            payload=resp.get("payload"),
+                        ),
+                        self.byteorder,
+                    )
+                )
+
+
+class VisitUnicorePlugin:
+    """The UNICORE-client plugin acting as VISIT proxy-client.
+
+    Polls the target system through the gateway every ``poll_interval``
+    seconds; received samples go to ``on_data``; the simulation's
+    receive-requests are answered from per-tag ``providers`` (mirroring
+    what a real steering panel would supply).
+    """
+
+    def __init__(
+        self,
+        client: UnicoreClient,
+        vsite: str,
+        name: str,
+        poll_interval: float = 0.5,
+    ) -> None:
+        if poll_interval <= 0:
+            raise UnicoreError("poll interval must be positive")
+        self.client = client
+        self.vsite = vsite
+        self.name = name
+        self.poll_interval = poll_interval
+        self.providers: dict[int, Callable[[], Any]] = {}
+        self.received: dict[int, list] = defaultdict(list)
+        self.on_data: Optional[Callable[[int, Any], None]] = None
+        #: observed delivery latency of each sample (poll lag + transport)
+        self.delivery_latencies: list[float] = []
+        self.is_master = False
+        self.stopped = False
+        self.polls = 0
+
+    def provide(self, tag: int, provider: Callable[[], Any]) -> None:
+        self.providers[tag] = provider
+
+    def start(self) -> None:
+        self.client.host.env.process(self._poll_loop())
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def _poll_loop(self):
+        env = self.client.host.env
+        pending_answers: list[dict] = []
+        while not self.stopped:
+            try:
+                reply = yield from self.client.request(
+                    {
+                        "op": "proxy_poll",
+                        "vsite": self.vsite,
+                        "client": self.name,
+                        "responses": pending_answers,
+                    }
+                )
+            except (UnicoreError, TimeoutExpired, ChannelClosed):
+                yield env.timeout(self.poll_interval)
+                continue
+            pending_answers = []
+            self.polls += 1
+            if reply.get("ok"):
+                self.is_master = reply.get("master") == self.name
+                for item in reply.get("data", []):
+                    tag, payload = item["tag"], item["payload"]
+                    self.received[tag].append(payload)
+                    self.delivery_latencies.append(env.now - item["sent_at"])
+                    if self.on_data is not None:
+                        self.on_data(tag, payload)
+                for req in reply.get("requests", []):
+                    provider = self.providers.get(req["tag"])
+                    if provider is not None:
+                        pending_answers.append(
+                            {
+                                "tag": req["tag"],
+                                "seq": req["seq"],
+                                "payload": provider(),
+                            }
+                        )
+            if pending_answers:
+                # Answer steering requests promptly rather than waiting a
+                # full interval — latency here is simulation wait time.
+                continue
+            yield env.timeout(self.poll_interval)

@@ -1,0 +1,15 @@
+"""Small shared utilities: id generation, statistics, event logging."""
+
+from repro.util.ids import IdAllocator, token_hex
+from repro.util.stats import RunningStats, Timeline, percentile
+from repro.util.eventlog import EventLog, LogRecord
+
+__all__ = [
+    "IdAllocator",
+    "token_hex",
+    "RunningStats",
+    "Timeline",
+    "percentile",
+    "EventLog",
+    "LogRecord",
+]

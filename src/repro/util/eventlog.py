@@ -1,0 +1,72 @@
+"""Structured in-memory event log.
+
+Distributed-scenario tests need to assert on *what happened when* across
+many components; stdout logging is useless for that.  Components append
+:class:`LogRecord` entries to a shared :class:`EventLog`; tests and benches
+query by component/kind/time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    time: float
+    component: str
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.4f}] {self.component:<24} {self.kind} {kv}".rstrip()
+
+
+class EventLog:
+    """Append-only log with simple filtering queries."""
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._records: list[LogRecord] = []
+        self._clock = clock or (lambda: 0.0)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach a time source (usually ``env.now`` of the DES kernel)."""
+        self._clock = clock
+
+    def emit(self, component: str, kind: str, **detail: Any) -> LogRecord:
+        rec = LogRecord(self._clock(), component, kind, detail)
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        component: str | None = None,
+        kind: str | None = None,
+        t0: float = float("-inf"),
+        t1: float = float("inf"),
+    ) -> list[LogRecord]:
+        """Records matching all given filters, in emission order."""
+        return [
+            r
+            for r in self._records
+            if (component is None or r.component == component)
+            and (kind is None or r.kind == kind)
+            and t0 <= r.time < t1
+        ]
+
+    def first(self, **kw) -> LogRecord:
+        recs = self.select(**kw)
+        if not recs:
+            raise LookupError(f"no log records matching {kw}")
+        return recs[0]
+
+    def dump(self) -> str:
+        return "\n".join(str(r) for r in self._records)

@@ -1,0 +1,95 @@
+"""Running statistics and time-series helpers used by benches and tests."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm).
+
+    Used to summarise per-frame latencies, per-step overheads etc. without
+    storing every sample.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(n={self.n}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g}, min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+def percentile(samples, q: float) -> float:
+    """Linear-interpolation percentile of a sequence (q in [0, 100])."""
+    data = sorted(samples)
+    if not data:
+        raise ValueError("percentile of empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    pos = (q / 100.0) * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+@dataclass
+class Timeline:
+    """A (time, value) series, e.g. order parameter vs simulation time."""
+
+    times: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def record(self, t: float, v) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self):
+        if not self.values:
+            raise IndexError("empty timeline")
+        return self.values[-1]
+
+    def window(self, t0: float, t1: float) -> "Timeline":
+        """Sub-series with t0 <= t < t1."""
+        out = Timeline()
+        for t, v in zip(self.times, self.values):
+            if t0 <= t < t1:
+                out.record(t, v)
+        return out

@@ -1,0 +1,104 @@
+"""VISIT message model: tagged, typed, self-describing.
+
+"VISIT uses an MPI-like data transport mechanism based on messages that
+are distinguished via tags ...  The client either sends data along with a
+header describing its content or requests data from the server by sending
+a header that describes what is requested."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.wire.codec import decode, describe, encode
+
+
+@dataclass
+class ConnectRequest:
+    """Open a VISIT session; password travels in clear text (section 3.2)."""
+
+    password: str
+    client_name: str = "simulation"
+
+
+@dataclass
+class ConnectAck:
+    ok: bool
+    reason: str = ""
+    server_name: str = "visualization"
+
+
+@dataclass
+class DataSend:
+    """Client pushes data: tag + self-describing payload."""
+
+    tag: int
+    payload: Any = None
+    seq: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.description:
+            self.description = describe(self.payload)
+
+
+@dataclass
+class DataRequest:
+    """Client asks the server for data under a tag (steering parameters)."""
+
+    tag: int
+    seq: int = 0
+
+
+@dataclass
+class DataResponse:
+    tag: int
+    seq: int
+    ok: bool
+    payload: Any = None
+    reason: str = ""
+
+
+@dataclass
+class VisitClose:
+    reason: str = ""
+
+
+_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        ConnectRequest,
+        ConnectAck,
+        DataSend,
+        DataRequest,
+        DataResponse,
+        VisitClose,
+    )
+}
+
+
+def encode_visit(msg: Any, byteorder: str = "<") -> bytes:
+    """VISIT message -> wire bytes (the byte order is the *sender's*
+    native order; the receiver converts, per the VISIT rule)."""
+    kind = type(msg).__name__
+    if kind not in _TYPES:
+        raise ProtocolError(f"not a VISIT message: {msg!r}")
+    body = {"_kind": kind}
+    body.update(msg.__dict__)
+    return encode(body, byteorder)
+
+
+def decode_visit(blob: bytes) -> Any:
+    body = decode(blob)
+    if not isinstance(body, dict) or "_kind" not in body:
+        raise ProtocolError("malformed VISIT message")
+    kind = body.pop("_kind")
+    cls = _TYPES.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown VISIT message kind {kind!r}")
+    try:
+        return cls(**body)
+    except TypeError as exc:
+        raise ProtocolError(f"bad fields for {kind}: {exc}") from None

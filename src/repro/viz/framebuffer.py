@@ -1,0 +1,51 @@
+"""RGB framebuffer with depth, the unit of VizServer/vnc traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class FrameBuffer:
+    """A ``(height, width, 3)`` uint8 color buffer plus float depth buffer."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ReproError("framebuffer dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.color = np.zeros((height, width, 3), dtype=np.uint8)
+        self.depth = np.full((height, width), np.inf, dtype=np.float64)
+
+    def clear(self, color=(0, 0, 0)) -> None:
+        self.color[:] = np.asarray(color, dtype=np.uint8)
+        self.depth[:] = np.inf
+
+    @property
+    def nbytes(self) -> int:
+        """Raw (uncompressed) color size — what a naive remoting ships."""
+        return self.color.nbytes
+
+    def copy(self) -> "FrameBuffer":
+        fb = FrameBuffer(self.width, self.height)
+        fb.color[:] = self.color
+        fb.depth[:] = self.depth
+        return fb
+
+    def changed_fraction(self, other: "FrameBuffer") -> float:
+        """Fraction of pixels differing from ``other`` (for delta stats)."""
+        if (other.width, other.height) != (self.width, self.height):
+            raise ReproError("framebuffer size mismatch")
+        return float(np.mean(np.any(self.color != other.color, axis=2)))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FrameBuffer)
+            and self.width == other.width
+            and self.height == other.height
+            and bool(np.array_equal(self.color, other.color))
+        )
+
+    def __repr__(self) -> str:
+        return f"FrameBuffer({self.width}x{self.height})"

@@ -1,0 +1,172 @@
+"""Particle glyph generation.
+
+Section 3.4: "Particles are displayed as points, diamond glyphs and
+vectors, including time-histories over several time-steps; tree domains
+as transparent or solid boxes."  These functions produce renderable
+geometry for each of those display modes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Colormap used to color particles by processor number (paper ships the
+#: processor number per particle precisely to see the decomposition).
+_PROC_COLORS = np.array(
+    [
+        [230, 60, 60],
+        [60, 200, 60],
+        [70, 110, 250],
+        [240, 200, 40],
+        [200, 70, 220],
+        [70, 220, 220],
+        [240, 140, 40],
+        [160, 160, 160],
+    ],
+    dtype=np.uint8,
+)
+
+
+def processor_colors(proc: np.ndarray) -> np.ndarray:
+    """Color per particle keyed by owning processor (wraps at 8)."""
+    proc = np.asarray(proc, dtype=np.intp)
+    return _PROC_COLORS[proc % len(_PROC_COLORS)]
+
+
+def particle_points(positions: np.ndarray, proc: np.ndarray | None = None):
+    """Point-mode glyphs: ``(positions, colors)`` ready for the renderer."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ReproError("positions must be (N, 3)")
+    if proc is None:
+        colors = np.full((len(positions), 3), 255, dtype=np.uint8)
+    else:
+        colors = processor_colors(proc)
+    return positions, colors
+
+
+def diamond_glyphs(
+    positions: np.ndarray, size: float = 0.05
+) -> tuple[np.ndarray, np.ndarray]:
+    """Octahedron ("diamond") per particle: returns (vertices, faces).
+
+    6 vertices and 8 faces per particle, fully vectorized.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = len(positions)
+    if n == 0:
+        return np.zeros((0, 3)), np.zeros((0, 3), dtype=np.intp)
+    offsets = size * np.array(
+        [
+            [1, 0, 0],
+            [-1, 0, 0],
+            [0, 1, 0],
+            [0, -1, 0],
+            [0, 0, 1],
+            [0, 0, -1],
+        ],
+        dtype=np.float64,
+    )
+    vertices = (positions[:, None, :] + offsets[None, :, :]).reshape(-1, 3)
+    base_faces = np.array(
+        [
+            [0, 2, 4],
+            [2, 1, 4],
+            [1, 3, 4],
+            [3, 0, 4],
+            [2, 0, 5],
+            [1, 2, 5],
+            [3, 1, 5],
+            [0, 3, 5],
+        ],
+        dtype=np.intp,
+    )
+    faces = (base_faces[None, :, :] + 6 * np.arange(n)[:, None, None]).reshape(-1, 3)
+    return vertices, faces
+
+
+def vector_glyphs(
+    positions: np.ndarray, vectors: np.ndarray, scale: float = 1.0
+) -> np.ndarray:
+    """Velocity vectors as line segments ``(N, 2, 3)``."""
+    positions = np.asarray(positions, dtype=np.float64)
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if positions.shape != vectors.shape:
+        raise ReproError("positions and vectors must have the same shape")
+    segs = np.empty((len(positions), 2, 3))
+    segs[:, 0, :] = positions
+    segs[:, 1, :] = positions + scale * vectors
+    return segs
+
+
+def domain_boxes(bounds: np.ndarray) -> np.ndarray:
+    """Wireframe edges for per-processor domain boxes.
+
+    ``bounds`` is ``(P, 2, 3)`` (lo, hi per processor); returns segments
+    ``(P * 12, 2, 3)`` — the "transparent or solid boxes" of section 3.4.
+    """
+    bounds = np.asarray(bounds, dtype=np.float64)
+    if bounds.ndim != 3 or bounds.shape[1:] != (2, 3):
+        raise ReproError("bounds must be (P, 2, 3)")
+    corners_unit = np.array(
+        [
+            [0, 0, 0],
+            [1, 0, 0],
+            [0, 1, 0],
+            [1, 1, 0],
+            [0, 0, 1],
+            [1, 0, 1],
+            [0, 1, 1],
+            [1, 1, 1],
+        ],
+        dtype=np.float64,
+    )
+    edges = np.array(
+        [
+            [0, 1], [2, 3], [4, 5], [6, 7],
+            [0, 2], [1, 3], [4, 6], [5, 7],
+            [0, 4], [1, 5], [2, 6], [3, 7],
+        ],
+        dtype=np.intp,
+    )
+    lo = bounds[:, 0, :][:, None, :]
+    hi = bounds[:, 1, :][:, None, :]
+    corners = lo + corners_unit[None, :, :] * (hi - lo)  # (P, 8, 3)
+    segs = corners[:, edges, :]  # (P, 12, 2, 3)
+    return segs.reshape(-1, 2, 3)
+
+
+class TimeHistory:
+    """Rolling particle trajectories over the last ``depth`` time-steps."""
+
+    def __init__(self, depth: int = 5) -> None:
+        if depth < 2:
+            raise ReproError("history depth must be >= 2")
+        self.depth = depth
+        self._frames: deque[np.ndarray] = deque(maxlen=depth)
+
+    def push(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if self._frames and positions.shape != self._frames[-1].shape:
+            raise ReproError("particle count changed mid-history")
+        self._frames.append(positions.copy())
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def trails(self) -> np.ndarray:
+        """Segments ``(N * (k-1), 2, 3)`` linking consecutive frames."""
+        if len(self._frames) < 2:
+            return np.zeros((0, 2, 3))
+        frames = list(self._frames)
+        chunks = []
+        for older, newer in zip(frames, frames[1:]):
+            seg = np.empty((len(older), 2, 3))
+            seg[:, 0, :] = older
+            seg[:, 1, :] = newer
+            chunks.append(seg)
+        return np.concatenate(chunks, axis=0)

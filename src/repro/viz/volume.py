@@ -1,0 +1,60 @@
+"""Axis-aligned emission-absorption volume rendering.
+
+Mentioned alongside isosurfacing as the interface requirement for
+steering clients (section 1: "3D isosurfacing and volume rendering").
+Simple front-to-back compositing along a principal axis — enough to give
+the feedback-loop benches a realistic "volume mode" compute cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def transfer_function(values: np.ndarray, vmin: float, vmax: float) -> tuple[np.ndarray, np.ndarray]:
+    """Map scalar values to (rgb in [0,1], opacity in [0,1]) — blue->red ramp."""
+    span = vmax - vmin
+    if span <= 0:
+        raise ReproError("vmax must exceed vmin")
+    t = np.clip((values - vmin) / span, 0.0, 1.0)
+    rgb = np.stack([t, 0.2 * np.ones_like(t), 1.0 - t], axis=-1)
+    alpha = 0.02 + 0.25 * t**2
+    return rgb, alpha
+
+
+def volume_render(
+    field: np.ndarray,
+    axis: int = 2,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Composite ``field`` along ``axis``; returns an (H, W, 3) uint8 image.
+
+    Front-to-back alpha compositing, fully vectorized over the image plane
+    (the loop is only over depth slices).
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 3:
+        raise ReproError("volume_render needs a 3D field")
+    if not 0 <= axis <= 2:
+        raise ReproError("axis must be 0, 1 or 2")
+    moved = np.moveaxis(field, axis, 0)  # (depth, H, W)
+    if vmin is None:
+        vmin = float(moved.min())
+    if vmax is None:
+        vmax = float(moved.max())
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    depth = moved.shape[0]
+    acc_rgb = np.zeros(moved.shape[1:] + (3,))
+    acc_alpha = np.zeros(moved.shape[1:])
+    for k in range(depth):
+        rgb, alpha = transfer_function(moved[k], vmin, vmax)
+        weight = (1.0 - acc_alpha)[..., None] * alpha[..., None]
+        acc_rgb += weight * rgb
+        acc_alpha += (1.0 - acc_alpha) * alpha
+        if float(acc_alpha.min()) > 0.995:
+            break  # early ray termination
+    return np.clip(acc_rgb * 255.0, 0, 255).astype(np.uint8)

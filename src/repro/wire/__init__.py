@@ -1,0 +1,27 @@
+"""Wire formats: self-describing typed binary codec + stream framing.
+
+VISIT (paper section 3.2) transfers "simple data types like strings,
+integers, floats, user defined structures, and arrays of these" using an
+MPI-like tagged message mechanism, with "any data conversions (byte order,
+precision, integer-float) performed transparently by the server".  This
+package implements exactly that data model.
+"""
+
+from repro.wire.codec import (
+    coerce_array,
+    decode,
+    describe,
+    encode,
+    encoded_size,
+)
+from repro.wire.frames import FrameDecoder, encode_frame
+
+__all__ = [
+    "encode",
+    "decode",
+    "describe",
+    "encoded_size",
+    "coerce_array",
+    "encode_frame",
+    "FrameDecoder",
+]

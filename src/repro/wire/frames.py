@@ -1,0 +1,66 @@
+"""Length-prefixed framing with logical stream ids.
+
+The UNICORE Gateway (paper section 3.1/3.3) multiplexes *all* traffic —
+job consignment, status polls, and the VISIT proxy relay — over a single
+fixed TCP server port.  This module provides the framing used for that
+multiplexing: each frame is ``u32 length | u32 stream_id | payload``.
+
+The decoder is incremental (feed arbitrary byte chunks, collect complete
+frames), because simulated TCP delivers whatever segment sizes the
+bandwidth model produces.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ProtocolError
+
+_HEADER = struct.Struct("<II")
+
+#: Frames larger than this indicate a corrupted stream, not a real message.
+MAX_FRAME = 1 << 30
+
+
+def encode_frame(stream_id: int, payload: bytes) -> bytes:
+    """Encode one frame for logical stream ``stream_id``."""
+    if not 0 <= stream_id < 2**32:
+        raise ProtocolError(f"stream id {stream_id} out of range")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(payload), stream_id) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser.
+
+    >>> dec = FrameDecoder()
+    >>> frames = dec.feed(encode_frame(7, b"hello"))
+    >>> frames
+    [(7, b'hello')]
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        """Consume ``data``; return all complete ``(stream_id, payload)``."""
+        self._buf.extend(data)
+        frames: list[tuple[int, bytes]] = []
+        while True:
+            if len(self._buf) < _HEADER.size:
+                return frames
+            length, stream_id = _HEADER.unpack_from(self._buf, 0)
+            if length > MAX_FRAME:
+                raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                return frames
+            payload = bytes(self._buf[_HEADER.size : end])
+            del self._buf[:end]
+            frames.append((stream_id, payload))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buf)

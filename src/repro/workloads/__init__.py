@@ -1,0 +1,38 @@
+"""Benchmark workloads: network profiles, cost models, canned scenarios."""
+
+from repro.workloads.netprofiles import (
+    CAMPUS,
+    CONFERENCE_FLOOR,
+    DSL,
+    LAN,
+    PROFILES,
+    SUPERJANET,
+    TRANSATLANTIC,
+    NetProfile,
+    link_with_profile,
+)
+from repro.workloads.costmodels import (
+    DESKTOP_BUDGET,
+    SIM_FEEDBACK_TOLERANCE,
+    VR_BUDGET,
+    FeedbackLoopModel,
+)
+from repro.workloads.scenarios import realitygrid_testbed, sc03_showfloor
+
+__all__ = [
+    "NetProfile",
+    "LAN",
+    "CAMPUS",
+    "SUPERJANET",
+    "TRANSATLANTIC",
+    "CONFERENCE_FLOOR",
+    "DSL",
+    "PROFILES",
+    "link_with_profile",
+    "VR_BUDGET",
+    "DESKTOP_BUDGET",
+    "SIM_FEEDBACK_TOLERANCE",
+    "FeedbackLoopModel",
+    "realitygrid_testbed",
+    "sc03_showfloor",
+]

@@ -1,0 +1,67 @@
+"""Canned multi-site scenarios shared by benches and examples."""
+
+from __future__ import annotations
+
+from repro.des import Environment
+from repro.net import Firewall, Network
+from repro.workloads.netprofiles import (
+    CAMPUS,
+    CONFERENCE_FLOOR,
+    SUPERJANET,
+    TRANSATLANTIC,
+    link_with_profile,
+)
+
+#: the single open port of each HPC centre's gateway
+GATEWAY_PORT = 4433
+
+
+def realitygrid_testbed(env: Environment | None = None):
+    """The Figure 1 testbed: compute at UCL, viz at Manchester, client on
+    the conference floor, plus a transatlantic AG site.
+
+    Returns ``(env, net)`` with hosts:
+    ``ucl-onyx``, ``man-bezier``, ``floor-laptop``, ``anl-ag``.
+    """
+    env = env or Environment()
+    net = Network(env)
+    net.add_host("ucl-onyx", firewall=Firewall.single_port(GATEWAY_PORT))
+    net.add_host("man-bezier")
+    net.add_host("floor-laptop")
+    net.add_host("anl-ag")
+    link_with_profile(net, "ucl-onyx", "man-bezier", SUPERJANET)
+    link_with_profile(net, "ucl-onyx", "floor-laptop", CONFERENCE_FLOOR)
+    link_with_profile(net, "man-bezier", "floor-laptop", CONFERENCE_FLOOR)
+    link_with_profile(net, "man-bezier", "anl-ag", TRANSATLANTIC)
+    link_with_profile(net, "ucl-onyx", "anl-ag", TRANSATLANTIC)
+    link_with_profile(net, "floor-laptop", "anl-ag", TRANSATLANTIC)
+    return env, net
+
+
+def sc03_showfloor(n_sites: int = 4, env: Environment | None = None,
+                   cave: bool = False):
+    """The showcase venue: a venue server, N AG sites with mixed link
+    classes, optionally a firewalled CAVE site needing a bridge.
+
+    Returns ``(env, net, site_names)``.
+    """
+    env = env or Environment()
+    net = Network(env)
+    net.add_host("venue-server")
+    profiles = [CAMPUS, SUPERJANET, TRANSATLANTIC, CONFERENCE_FLOOR]
+    names = []
+    for i in range(n_sites):
+        name = f"ag-site-{i}"
+        net.add_host(name)
+        link_with_profile(net, "venue-server", name,
+                          profiles[i % len(profiles)])
+        names.append(name)
+    for i in range(n_sites):
+        for j in range(i + 1, n_sites):
+            link_with_profile(net, names[i], names[j],
+                              profiles[max(i, j) % len(profiles)])
+    if cave:
+        net.add_host("hlrs-cave", multicast=False, firewall=Firewall.closed())
+        link_with_profile(net, "venue-server", "hlrs-cave", CAMPUS)
+        names.append("hlrs-cave")
+    return env, net, names

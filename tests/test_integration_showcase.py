@@ -1,0 +1,273 @@
+"""Cross-stack integration tests: the showcase paths end-to-end.
+
+These tests wire several subsystems together the way the SC'03 demos did,
+asserting on cross-cutting behaviour no unit test covers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.net import Firewall, Network, SyncPipe
+from repro.covise import MapEditor
+from repro.ogsa import (
+    OgsiLiteContainer,
+    ServiceConnection,
+    SteeringService,
+)
+from repro.sims import LatticeBoltzmann3D
+from repro.sims.pepc import PlasmaSim, beam_on_sphere_setup
+from repro.steering import (
+    CollaborativeSession,
+    LinkAdapter,
+    SteeredApplication,
+    SteeringClient,
+    steered_app_process,
+)
+from repro.unicore import (
+    AbstractJobObject,
+    Certificate,
+    ExecuteTask,
+    Gateway,
+    JobStatus,
+    NetworkJobSupervisor,
+    StageOut,
+    TargetSystemInterface,
+    UnicoreClient,
+    UserIdentity,
+)
+from repro.unicore.security import TrustStore
+from repro.visit import VisitClient, VisitServer
+
+GATEWAY_PORT = 4433
+
+
+def test_unicore_launched_simulation_steered_through_ogsa():
+    """UNICORE launches the app as a batch job; while the job RUNS, an
+    OGSA steering service (fed by a control link out of the job) steers
+    it; the job then stages out the final state."""
+    env = Environment()
+    net = Network(env)
+    net.add_host("hpc", firewall=Firewall.single_port(GATEWAY_PORT))
+    net.add_host("svc")
+    net.add_host("user")
+    net.add_link("user", "hpc", latency=0.01, bandwidth=10e6 / 8)
+    net.add_link("user", "svc", latency=0.005, bandwidth=10e6 / 8)
+    net.add_link("svc", "hpc", latency=0.008, bandwidth=100e6 / 8)
+
+    trust = TrustStore({"CA"})
+    gw = Gateway(net.host("hpc"), GATEWAY_PORT, trust=trust)
+    tsi = TargetSystemInterface(net.host("hpc"))
+    njs = NetworkJobSupervisor(net.host("hpc"), 9000, "SITE", tsi)
+    gw.register_vsite("SITE", "hpc", 9000)
+    gw.start()
+    njs.start()
+
+    container = OgsiLiteContainer(net.host("svc"), 8000)
+    container.start()
+    deployed = {}
+
+    def lb3d_app(env_, host, args, uspace):
+        """The incarnated steered application: connects its control link
+        OUT to the service host (firewall-friendly direction)."""
+        sim = LatticeBoltzmann3D(shape=(8, 8, 8), g=0.5, seed=3)
+        app = SteeredApplication(sim, name="lb3d")
+        conn = yield from host.connect("svc", 7001)
+        app.attach_control(LinkAdapter(conn))
+        steps = yield from steered_app_process(env_, app, compute_time=0.05,
+                                               max_steps=args["steps"])
+        uspace.write("final.dat", f"{sim.g} {sim.demix_measure()}".encode())
+        return steps
+
+    tsi.register_application("lb3d", lb3d_app)
+    njs.register_application("LB3D", "lb3d")
+
+    listener = net.host("svc").listen(7001)
+
+    def service_side():
+        conn = yield from listener.accept()
+        svc = SteeringService("steer", LinkAdapter(conn),
+                              application_name="LB3D")
+        container.deploy(svc)
+        deployed["ok"] = True
+
+    env.process(service_side())
+    result = {}
+
+    def user():
+        client = UnicoreClient(
+            net.host("user"),
+            UserIdentity(Certificate("CN=u", "CA"), "u"),
+            "hpc", GATEWAY_PORT,
+        )
+        yield from client.connect()
+        ajo = AbstractJobObject("steered-lb3d", "SITE")
+        ajo.add_task(ExecuteTask("run", "LB3D", arguments={"steps": 200},
+                                 steered=True))
+        ajo.add_task(StageOut("out", "final.dat"), after=["run"])
+        job_id = yield from client.consign(ajo)
+
+        while not deployed:
+            yield env.timeout(0.1)
+        svc_conn = ServiceConnection(net.host("user"), "svc", 8000)
+        yield from svc_conn.open()
+        yield env.timeout(1.0)
+        value = yield from svc_conn.invoke("steer", "set_parameter",
+                                           name="g", value=3.0)
+        result["steered"] = value
+        status = yield from client.wait_for("SITE", job_id,
+                                            poll_interval=0.5, timeout=120.0)
+        result["status"] = status
+        result["outcome"] = (yield from client.retrieve("SITE", job_id,
+                                                        "final.dat")).decode()
+
+    env.process(user())
+    env.run(until=120.0)
+    assert result["steered"] == 3.0
+    assert result["status"] is JobStatus.SUCCESSFUL
+    g_final, demix_final = result["outcome"].split()
+    assert float(g_final) == 3.0
+    assert float(demix_final) > 0.3  # the steer took physical effect
+
+
+def test_visit_sample_feeds_covise_pipeline():
+    """PEPC ships its sample over VISIT; the visualization side feeds the
+    field into a COVISE map whose renderer produces actual pixels."""
+    env = Environment()
+    net = Network(env)
+    net.add_host("sim-host")
+    net.add_host("viz-host")
+    net.add_link("sim-host", "viz-host", latency=0.002, bandwidth=100e6 / 8)
+
+    from repro.sims.pepc.meshdiag import DiagnosticMesh
+
+    sim = PlasmaSim(setup=beam_on_sphere_setup(n_plasma=96, n_beam=16, seed=4),
+                    theta=0.6)
+    mesh = DiagnosticMesh(lo=(-4, -2, -2), hi=(2, 2, 2), shape=(10, 10, 10))
+
+    server = VisitServer(net.host("viz-host"), 6000, password="pw")
+    server.start()
+    client = VisitClient(net.host("sim-host"), "viz-host", 6000, "pw")
+
+    def simulation():
+        yield from client.connect(timeout=1.0)
+        for _ in range(4):
+            yield env.timeout(0.1)
+            sim.step()
+            yield from client.send(1, {"rho": mesh.charge_density(sim)})
+
+    env.process(simulation())
+    env.run(until=5.0)
+
+    # The visualization host builds a COVISE map over the received field.
+    latest = server.latest(1)["rho"]
+    editor = MapEditor(net)
+    editor.add_source("read", "viz-host", lambda: latest)
+    editor.add("IsoSurface", "iso", "viz-host", level=float(latest.mean()))
+    editor.add("Renderer", "render", "viz-host")
+    editor.connect("read", "field", "iso", "field")
+    editor.connect("iso", "surface", "render", "surface")
+
+    def run_map():
+        yield from editor.controller.execute()
+
+    env.process(run_map())
+    env.run(until=10.0)
+    frame = editor.controller.output_object("render", "frame")
+    assert frame.pixels.shape == (120, 160, 3)
+    assert (frame.pixels.sum(axis=2) > 0).any()  # the plasma is visible
+
+
+def test_collaborative_session_over_real_network_links():
+    """The steering-core CollaborativeSession with participants on
+    separate hosts: fan-out consistency + master handover survive real
+    link latency."""
+    env = Environment()
+    net = Network(env)
+    for h in ("hpc", "hub", "site-a", "site-b"):
+        net.add_host(h)
+    net.add_link("hpc", "hub", latency=0.005, bandwidth=100e6 / 8)
+    net.add_link("hub", "site-a", latency=0.02, bandwidth=10e6 / 8)
+    net.add_link("hub", "site-b", latency=0.04, bandwidth=10e6 / 8)
+
+    sim = LatticeBoltzmann3D(shape=(6, 6, 6), g=0.5, seed=2)
+    app = SteeredApplication(sim, name="lb3d", sample_interval=2)
+    wired = {}
+
+    def wire():
+        lst = net.host("hub").listen(7001)
+
+        def accept():
+            conn = yield from lst.accept()
+            wired["app_side"] = LinkAdapter(conn)
+
+        env.process(accept())
+        conn = yield from net.host("hpc").connect("hub", 7001)
+        app.attach_control(LinkAdapter(conn))
+        app.attach_sample_sink(LinkAdapter(conn))
+
+    env.process(wire())
+
+    clients = {}
+    session_holder = {}
+
+    def hub():
+        while "app_side" not in wired:
+            yield env.timeout(0.01)
+        session = CollaborativeSession(wired["app_side"])
+        session_holder["s"] = session
+        listeners = {name: net.host("hub").listen(port)
+                     for name, port in (("site-a", 7100), ("site-b", 7101))}
+        for name, lst in listeners.items():
+            conn = yield from lst.accept()
+            session.join(name, LinkAdapter(conn))
+        while True:
+            session.pump()
+            yield env.timeout(0.01)
+
+    def participant(name, port):
+        conn = yield from net.host(name).connect("hub", port)
+        clients[name] = SteeringClient(LinkAdapter(conn), name=name)
+
+    env.process(hub())
+    env.process(participant("site-a", 7100))
+    env.process(participant("site-b", 7101))
+    env.process(steered_app_process(env, app, compute_time=0.05))
+    outcome = {}
+
+    def scenario():
+        while len(clients) < 2:
+            yield env.timeout(0.05)
+        yield env.timeout(2.0)
+        # The observer tries to steer: rejected.
+        seq_b = clients["site-b"].set_parameter("g", 0.1)
+        # The master steers: applied.
+        seq_a = clients["site-a"].set_parameter("g", 2.0)
+        yield env.timeout(1.0)
+        clients["site-a"].drain()
+        clients["site-b"].drain()
+        outcome["a_ack"] = clients["site-a"].ack_for(seq_a)
+        outcome["b_ack"] = clients["site-b"].ack_for(seq_b)
+        # Master handover, then the former observer steers successfully.
+        session_holder["s"].pass_master("site-a", "site-b")
+        seq_b2 = clients["site-b"].set_parameter("g", 3.0)
+        yield env.timeout(1.0)
+        clients["site-b"].drain()
+        outcome["b_ack2"] = clients["site-b"].ack_for(seq_b2)
+        clients["site-a"].drain()
+        outcome["samples"] = (
+            [s.seq for s in clients["site-a"].samples],
+            [s.seq for s in clients["site-b"].samples],
+        )
+
+    env.process(scenario())
+    env.run(until=10.0)
+    assert outcome["a_ack"].ok
+    assert not outcome["b_ack"].ok and "observer" in outcome["b_ack"].error
+    assert outcome["b_ack2"].ok
+    assert app.sim.g == 3.0
+    a_seqs, b_seqs = outcome["samples"]
+    # Both sites saw the same sample stream (possibly offset by latency).
+    common = min(len(a_seqs), len(b_seqs))
+    assert common > 5
+    assert a_seqs[:common] == b_seqs[:common]

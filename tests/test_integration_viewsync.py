@@ -1,0 +1,106 @@
+"""Integration: the section 3.3 control-state server synchronizing camera
+state across sites, next to (not through) the heavyweight middleware."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment
+from repro.net import Network, SyncPipe
+from repro.steering import ControlStateServer
+from repro.steering.collab import StateUpdate
+from repro.viz import Camera, Renderer, Geometry, SceneGraph
+
+
+def test_camera_sync_across_three_sites_with_roles():
+    """One controller moves the view; every site's local renderer ends up
+    rendering the same camera; a viewer's attempt to steer is rejected;
+    role promotion transfers control — exactly the roles of section 3.3."""
+    env = Environment()
+    server = ControlStateServer()
+    pipes = {n: SyncPipe() for n in ("juelich", "manchester", "stuttgart")}
+    server.join("juelich", pipes["juelich"].a, role="controller")
+    server.join("manchester", pipes["manchester"].a, role="viewer")
+    server.join("stuttgart", pipes["stuttgart"].a, role="viewer")
+
+    # Each site has a *local* scene graph + renderer (the section 4.2
+    # architecture) and applies camera state arriving from the server.
+    cameras = {n: Camera() for n in pipes}
+    rng = np.random.default_rng(0)
+    cloud = rng.random((300, 3))
+
+    def apply_updates(name):
+        count = 0
+        while True:
+            ok, update = pipes[name].b.poll()
+            if not ok:
+                return count
+            if update.key == "camera":
+                state = {
+                    k: np.asarray(v) if isinstance(v, list) else v
+                    for k, v in update.value.items()
+                }
+                cameras[name].apply_state(state)
+                count += 1
+
+    # The controller orbits the view and publishes the new state.
+    cameras["juelich"].orbit(0.6)
+    state = {k: (v.tolist() if hasattr(v, "tolist") else v)
+             for k, v in cameras["juelich"].state().items()}
+    pipes["juelich"].b.send(StateUpdate("camera", state, origin="juelich"))
+    server.pump()
+    assert apply_updates("manchester") == 1
+    assert apply_updates("stuttgart") == 1
+
+    # All three local renderers now produce the same picture.
+    frames = {}
+    for name in pipes:
+        r = Renderer(48, 36)
+        r.camera = cameras[name]
+        sg = SceneGraph()
+        sg.add_node("cloud", Geometry("points", cloud))
+        sg.render_into(r)
+        frames[name] = r.fb.color.copy()
+    np.testing.assert_array_equal(frames["juelich"], frames["manchester"])
+    np.testing.assert_array_equal(frames["juelich"], frames["stuttgart"])
+
+    # A viewer trying to move the camera is ignored.
+    cameras["manchester"].orbit(1.0)
+    bad_state = {k: (v.tolist() if hasattr(v, "tolist") else v)
+                 for k, v in cameras["manchester"].state().items()}
+    pipes["manchester"].b.send(StateUpdate("camera", bad_state,
+                                           origin="manchester"))
+    stats = server.pump()
+    assert stats["rejected"] == 1
+    assert apply_updates("stuttgart") == 0  # nothing redistributed
+
+    # Promote Manchester; now its updates go through.
+    server.set_role("manchester", "controller")
+    pipes["manchester"].b.send(StateUpdate("camera", bad_state,
+                                           origin="manchester"))
+    stats = server.pump()
+    assert stats["applied"] == 1
+    assert apply_updates("juelich") == 1
+    assert apply_updates("stuttgart") == 1
+
+
+def test_cutting_plane_param_rides_the_same_server():
+    """Visualization parameters like thresholds/planes (section 3.3
+    examples) share the state server with the camera."""
+    server = ControlStateServer()
+    ctl, view = SyncPipe(), SyncPipe()
+    server.join("ctl", ctl.a, role="controller")
+    server.join("view", view.a, role="viewer")
+    ctl.b.send(StateUpdate("cutplane", {"point": [8.0, 5.0, 2.0],
+                                        "normal": [0.0, 0.0, 1.0]},
+                           origin="ctl"))
+    ctl.b.send(StateUpdate("threshold", 0.35, origin="ctl"))
+    server.pump()
+    got = {}
+    while True:
+        ok, update = view.b.poll()
+        if not ok:
+            break
+        got[update.key] = update.value
+    assert got["cutplane"]["point"] == [8.0, 5.0, 2.0]
+    assert got["threshold"] == 0.35
+    assert server.state["threshold"] == 0.35

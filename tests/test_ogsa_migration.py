@@ -1,0 +1,118 @@
+"""Service migration tests: move a live service between containers."""
+
+import pytest
+
+from repro.des import Environment
+from repro.errors import OgsaError, ServiceNotFound
+from repro.net import Network, SyncPipe
+from repro.ogsa import (
+    GridServiceHandle,
+    HandleResolver,
+    OgsiLiteContainer,
+    ServiceConnection,
+    SteeringService,
+)
+from repro.ogsa.migration import migrate_service
+from repro.sims import LatticeBoltzmann3D
+from repro.steering import SteeredApplication, steered_app_process
+
+
+def grid():
+    env = Environment()
+    net = Network(env)
+    for h in ("hpc", "old-host", "new-host", "user"):
+        net.add_host(h)
+    for a in ("old-host", "new-host"):
+        net.add_link("hpc", a, latency=0.005, bandwidth=100e6 / 8)
+        net.add_link("user", a, latency=0.02, bandwidth=10e6 / 8)
+    return env, net
+
+
+def test_migrate_service_rebinds_and_keeps_state():
+    env, net = grid()
+    sim = LatticeBoltzmann3D(shape=(6, 6, 6), g=0.5, seed=1)
+    app = SteeredApplication(sim, name="lb3d")
+    pipe = SyncPipe()
+    app.attach_control(pipe.a)
+    env.process(steered_app_process(env, app, compute_time=0.02))
+
+    old = OgsiLiteContainer(net.host("old-host"), 8000, authority="auth")
+    new = OgsiLiteContainer(net.host("new-host"), 8000, authority="auth")
+    old.start()
+    new.start()
+    resolver = HandleResolver()
+    steer = SteeringService("steer", pipe.b, application_name="LB3D")
+    ref = old.deploy(steer)
+    resolver.bind(ref)
+    result = {}
+
+    def user():
+        handle = GridServiceHandle("auth", "steer")
+        # Steer through the old location.
+        loc = resolver.resolve(handle)
+        conn = ServiceConnection(net.host("user"), loc.host, loc.port)
+        yield from conn.open()
+        v = yield from conn.invoke("steer", "set_parameter", name="g", value=1.0)
+        result["before"] = v
+        conn.close()
+
+        # Mid-session migration.
+        migrate_service("steer", old, new, resolver)
+        result["old_hosts"] = old.deployed()
+        result["new_hosts"] = new.deployed()
+
+        # The client re-resolves the SAME handle and lands on new-host.
+        loc = resolver.resolve(handle)
+        result["new_location"] = (loc.host, loc.port)
+        conn = ServiceConnection(net.host("user"), loc.host, loc.port)
+        yield from conn.open()
+        v = yield from conn.invoke("steer", "set_parameter", name="g", value=2.0)
+        result["after"] = v
+        # Service state survived (invocation counter kept counting).
+        result["invocations"] = steer.invocations
+
+    env.process(user())
+    env.run(until=20.0)
+    assert result["before"] == 1.0 and result["after"] == 2.0
+    assert app.sim.g == 2.0  # still steering the same application
+    assert result["old_hosts"] == [] and result["new_hosts"] == ["steer"]
+    assert result["new_location"] == ("new-host", 8000)
+    assert result["invocations"] >= 2
+
+
+def test_migrate_unknown_service_rejected():
+    env, net = grid()
+    old = OgsiLiteContainer(net.host("old-host"), 8000)
+    new = OgsiLiteContainer(net.host("new-host"), 8000)
+    with pytest.raises(ServiceNotFound):
+        migrate_service("ghost", old, new, HandleResolver())
+
+
+def test_migrate_into_conflicting_container_rejected():
+    env, net = grid()
+    old = OgsiLiteContainer(net.host("old-host"), 8000)
+    new = OgsiLiteContainer(net.host("new-host"), 8000)
+    a = SteeringService("steer", SyncPipe().b)
+    b = SteeringService("steer", SyncPipe().b)
+    old.deploy(a)
+    new.deploy(b)
+    with pytest.raises(OgsaError, match="already hosts"):
+        migrate_service("steer", old, new, HandleResolver())
+    assert old.deployed() == ["steer"]  # nothing lost
+
+
+def test_migrated_service_lifetime_carries_over():
+    env, net = grid()
+    old = OgsiLiteContainer(net.host("old-host"), 8000)
+    new = OgsiLiteContainer(net.host("new-host"), 8000)
+    svc = SteeringService("steer", SyncPipe().b)
+    old.deploy(svc)
+    svc.termination_time = env.now + 100.0
+    resolver = HandleResolver()
+    from repro.ogsa.handles import GridServiceReference
+
+    resolver.bind(GridServiceReference(
+        GridServiceHandle(old.authority, "steer"), "old-host", 8000, ()))
+    migrate_service("steer", old, new, resolver)
+    assert svc.termination_time == pytest.approx(100.0)
+    assert svc._container is new

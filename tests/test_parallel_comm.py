@@ -1,0 +1,195 @@
+"""Tests for the in-process SPMD runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel import (
+    Allgather,
+    Allreduce,
+    Barrier,
+    Bcast,
+    CommStats,
+    DeadlockError,
+    Gather,
+    Recv,
+    Reduce,
+    Send,
+    run_spmd,
+)
+from repro.parallel.comm import Alltoall
+
+
+def test_single_rank_trivial():
+    def prog(comm):
+        return comm.rank
+        yield  # pragma: no cover
+
+    assert run_spmd(1, prog) == [0]
+
+
+def test_send_recv_ring():
+    def prog(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        yield Send(dest=right, data=comm.rank)
+        got = yield Recv(source=left)
+        return got
+
+    assert run_spmd(4, prog) == [3, 0, 1, 2]
+
+
+def test_recv_blocks_until_send():
+    def prog(comm):
+        if comm.rank == 0:
+            got = yield Recv(source=1, tag=5)
+            return got
+        # rank 1 does other work first, then sends
+        yield Barrier()
+        return None
+
+    # rank0 recv + rank1 barrier: deadlock (barrier never completes)
+    with pytest.raises(DeadlockError):
+        run_spmd(2, prog)
+
+
+def test_tag_matching():
+    def prog(comm):
+        if comm.rank == 0:
+            yield Send(dest=1, data="a", tag=1)
+            yield Send(dest=1, data="b", tag=2)
+            return None
+        second = yield Recv(source=0, tag=2)
+        first = yield Recv(source=0, tag=1)
+        return (first, second)
+
+    assert run_spmd(2, prog)[1] == ("a", "b")
+
+
+def test_bcast():
+    def prog(comm):
+        data = yield Bcast(root=0, data="payload" if comm.rank == 0 else None)
+        return data
+
+    assert run_spmd(3, prog) == ["payload"] * 3
+
+
+def test_reduce_sum_root_only():
+    def prog(comm):
+        result = yield Reduce(value=comm.rank + 1, root=0, op="sum")
+        return result
+
+    assert run_spmd(4, prog) == [10, None, None, None]
+
+
+def test_allreduce_max():
+    def prog(comm):
+        result = yield Allreduce(value=comm.rank * 2, op="max")
+        return result
+
+    assert run_spmd(5, prog) == [8] * 5
+
+
+def test_allreduce_numpy_arrays():
+    def prog(comm):
+        result = yield Allreduce(value=np.full(3, comm.rank, dtype=np.float64))
+        return result
+
+    results = run_spmd(3, prog)
+    for r in results:
+        np.testing.assert_array_equal(r, np.full(3, 3.0))
+
+
+def test_gather_and_allgather():
+    def prog(comm):
+        g = yield Gather(value=comm.rank**2, root=1)
+        ag = yield Allgather(value=comm.rank)
+        return (g, ag)
+
+    results = run_spmd(3, prog)
+    assert results[0] == (None, [0, 1, 2])
+    assert results[1] == ([0, 1, 4], [0, 1, 2])
+
+
+def test_alltoall():
+    def prog(comm):
+        out = yield Alltoall(values=[f"{comm.rank}->{j}" for j in range(comm.size)])
+        return out
+
+    results = run_spmd(3, prog)
+    assert results[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_alltoall_wrong_size_rejected():
+    def prog(comm):
+        yield Alltoall(values=[1])
+
+    with pytest.raises(SimulationError):
+        run_spmd(3, prog)
+
+
+def test_barrier_synchronizes():
+    order = []
+
+    def prog(comm):
+        order.append(("before", comm.rank))
+        yield Barrier()
+        order.append(("after", comm.rank))
+        return None
+
+    run_spmd(3, prog)
+    befores = [i for i, (phase, _) in enumerate(order) if phase == "before"]
+    afters = [i for i, (phase, _) in enumerate(order) if phase == "after"]
+    assert max(befores) < min(afters)
+
+
+def test_collective_type_mismatch_raises():
+    def prog(comm):
+        if comm.rank == 0:
+            yield Barrier()
+        else:
+            yield Allreduce(value=1)
+
+    with pytest.raises(DeadlockError, match="mismatch"):
+        run_spmd(2, prog)
+
+
+def test_deadlock_detected():
+    def prog(comm):
+        # Everyone receives, nobody sends.
+        got = yield Recv(source=(comm.rank + 1) % comm.size)
+        return got
+
+    with pytest.raises(DeadlockError, match="blocked"):
+        run_spmd(3, prog)
+
+
+def test_stats_accounting():
+    stats = CommStats()
+
+    def prog(comm):
+        yield Send(dest=(comm.rank + 1) % comm.size, data=np.zeros(100))
+        yield Recv(source=(comm.rank - 1) % comm.size)
+        yield Allreduce(value=1.0)
+        return None
+
+    run_spmd(2, prog, stats=stats)
+    assert stats.p2p_messages == 2
+    assert stats.p2p_bytes == 2 * 800
+    assert stats.collectives == 1
+
+
+def test_fn_args_passed_through():
+    def prog(comm, base):
+        total = yield Allreduce(value=base + comm.rank)
+        return total
+
+    assert run_spmd(2, prog, 10) == [21, 21]
+
+
+def test_non_generator_program_rejected():
+    def prog(comm):
+        return 1
+
+    with pytest.raises(SimulationError):
+        run_spmd(2, prog)

@@ -1,0 +1,124 @@
+"""Tests for the mesh-mapped diagnostics (the section 3.4 future extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sims.pepc import PlasmaSim, beam_on_sphere_setup
+from repro.sims.pepc.meshdiag import DiagnosticMesh
+
+
+def small_sim(**kw):
+    return PlasmaSim(setup=beam_on_sphere_setup(n_plasma=64, n_beam=8, seed=2),
+                     theta=0.6, **kw)
+
+
+def mesh(shape=(8, 8, 8)):
+    return DiagnosticMesh(lo=(-4.0, -2.0, -2.0), hi=(2.0, 2.0, 2.0),
+                          shape=shape)
+
+
+def test_mesh_validation():
+    with pytest.raises(SimulationError):
+        DiagnosticMesh(lo=(0, 0, 0), hi=(0, 1, 1))
+    with pytest.raises(SimulationError):
+        DiagnosticMesh(lo=(0, 0), hi=(1, 1))
+    with pytest.raises(SimulationError):
+        DiagnosticMesh(lo=(0, 0, 0), hi=(1, 1, 1), shape=(1, 4, 4))
+
+
+def test_deposit_conserves_total_charge():
+    """CIC deposition must conserve the deposited quantity exactly."""
+    sim = small_sim()
+    m = mesh()
+    rho = m.charge_density(sim)
+    total = rho.sum() * m.cell_volume
+    assert total == pytest.approx(sim.charges.sum(), abs=1e-9)
+
+
+def test_deposit_point_charge_lands_in_right_cell():
+    m = DiagnosticMesh(lo=(0, 0, 0), hi=(8, 8, 8), shape=(8, 8, 8))
+    pos = np.array([[4.5, 4.5, 4.5]])  # the centre of cell (4,4,4)
+    rho = m.deposit(pos, np.array([2.0]))
+    assert rho[4, 4, 4] * m.cell_volume == pytest.approx(2.0)
+    assert rho.sum() * m.cell_volume == pytest.approx(2.0)
+
+
+def test_deposit_splits_between_cells():
+    m = DiagnosticMesh(lo=(0, 0, 0), hi=(8, 8, 8), shape=(8, 8, 8))
+    pos = np.array([[5.0, 4.5, 4.5]])  # on the x-face between cells 4 and 5
+    rho = m.deposit(pos, np.array([1.0]))
+    assert rho[4, 4, 4] == pytest.approx(rho[5, 4, 4])
+    assert rho.sum() * m.cell_volume == pytest.approx(1.0)
+
+
+def test_particles_outside_mesh_clamp_not_crash():
+    m = DiagnosticMesh(lo=(0, 0, 0), hi=(1, 1, 1), shape=(4, 4, 4))
+    pos = np.array([[-5.0, 0.5, 0.5], [9.0, 0.5, 0.5]])
+    rho = m.deposit(pos, np.ones(2))
+    assert rho.sum() * m.cell_volume == pytest.approx(2.0)
+
+
+def test_current_density_shape_and_direction():
+    sim = small_sim()
+    m = mesh()
+    J = m.current_density(sim)
+    assert J.shape == (3,) + m.shape
+    # The beam moves in +x with negative charge: its cells carry Jx < 0.
+    beam_x = sim.positions[sim.is_beam, 0].mean()
+    assert J[0].sum() * m.cell_volume == pytest.approx(
+        float(np.sum(sim.charges * sim.velocities[:, 0])), abs=1e-9
+    )
+
+
+def test_e_field_magnitude_positive_near_charges():
+    sim = small_sim()
+    m = mesh(shape=(8, 8, 8))
+    emag = m.electric_field_magnitude(sim, subsample=2)
+    assert emag.shape == (4, 4, 4)
+    assert np.all(emag >= 0) and emag.max() > 0
+
+
+def test_laser_intensity_profile():
+    sim = small_sim()
+    sim.set_parameter("laser_intensity", 2.0)
+    sim.set_parameter("laser_direction", [1.0, 0.0, 0.0])
+    m = DiagnosticMesh(lo=(-2, -2, -2), hi=(2, 2, 2), shape=(9, 9, 9))
+    intensity = m.laser_intensity(sim)
+    # Peak on the beam axis (y = z = 0 plane centre), decays transversally.
+    centre = intensity[:, 4, 4]
+    edge = intensity[:, 0, 0]
+    assert np.all(centre >= edge)
+    assert intensity.max() == pytest.approx(4.0, rel=0.05)  # amplitude^2
+
+
+def test_laser_intensity_zero_without_laser():
+    sim = small_sim()
+    m = mesh()
+    assert m.laser_intensity(sim).max() == 0.0
+
+
+def test_all_diagnostics_bundle():
+    sim = small_sim()
+    m = mesh()
+    d = m.all_diagnostics(sim)
+    assert set(d) == {"charge_density", "current_density",
+                      "e_field_magnitude", "laser_intensity"}
+    for arr in d.values():
+        assert arr.dtype == np.float32
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(1, 60),
+    seed=st.integers(0, 100),
+)
+def test_property_deposition_conserves_weight(n, seed):
+    rng = np.random.default_rng(seed)
+    m = DiagnosticMesh(lo=(0, 0, 0), hi=(2, 3, 4), shape=(5, 6, 7))
+    pos = rng.uniform(-1, 5, size=(n, 3))  # some outside: they clamp
+    w = rng.standard_normal(n)
+    rho = m.deposit(pos, w)
+    assert rho.sum() * m.cell_volume == pytest.approx(w.sum(), abs=1e-9)

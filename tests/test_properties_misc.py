@@ -1,0 +1,144 @@
+"""Property tests across subsystems: links, steering protocol, morton keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment
+from repro.net import Network
+from repro.net.network import Link
+from repro.parallel import morton_key
+from repro.steering.control import (
+    Ack,
+    SampleMsg,
+    SetParam,
+    StatusReport,
+    decode_message,
+    encode_message,
+)
+from repro.wire import decode, encode
+from repro.wire.codec import approx_size
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 10_000_000), min_size=1, max_size=20),
+    latency=st.floats(0.0, 0.5),
+    bandwidth=st.floats(1e3, 1e9),
+)
+def test_property_link_deliveries_fifo_and_causal(sizes, latency, bandwidth):
+    """Back-to-back reservations deliver in order, never before the
+    serialization + latency lower bound."""
+    link = Link("a", "b", latency, bandwidth)
+    now = 0.0
+    deliveries = []
+    for s in sizes:
+        deliveries.append(link.reserve(s, now))
+    assert deliveries == sorted(deliveries)
+    # Total serialization is conserved.
+    assert deliveries[-1] == pytest.approx(
+        sum(sizes) / bandwidth + latency, rel=1e-9
+    )
+    assert link.bytes_carried == sum(sizes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.text(min_size=1, max_size=20),
+    value=st.one_of(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.integers(-(2**31), 2**31 - 1),
+        st.text(max_size=20),
+        st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=5),
+    ),
+    seq=st.integers(0, 2**31 - 1),
+)
+def test_property_setparam_full_wire_roundtrip(name, value, seq):
+    msg = SetParam(name=name, value=value, seq=seq, sender="prop")
+    assert decode_message(decode(encode(encode_message(msg)))) == msg
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    step=st.integers(0, 10**6),
+    obs=st.dictionaries(st.text(min_size=1, max_size=8),
+                        st.floats(allow_nan=False, allow_infinity=False),
+                        max_size=5),
+)
+def test_property_status_report_roundtrip(step, obs):
+    msg = StatusReport(step=step, time=float(step), observables=obs,
+                       parameters={"g": 1.0}, paused=False)
+    out = decode_message(decode(encode(encode_message(msg))))
+    assert out.step == step and out.observables == obs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    seed=st.integers(0, 1000),
+    shift=st.floats(0.0, 0.4),
+)
+def test_property_morton_keys_order_matches_octant_order(n, seed, shift):
+    """Points in the low corner octant always get smaller keys than
+    points in the high corner octant."""
+    rng = np.random.default_rng(seed)
+    lo_pts = rng.random((n, 3)) * 0.4
+    hi_pts = 0.6 + rng.random((n, 3)) * 0.4 - shift * 0
+    keys_lo = morton_key(lo_pts, np.zeros(3), np.ones(3), bits=10)
+    keys_hi = morton_key(hi_pts, np.zeros(3), np.ones(3), bits=10)
+    assert keys_lo.max() < keys_hi.min()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    value=st.recursive(
+        st.none() | st.booleans() | st.integers(-(2**40), 2**40)
+        | st.floats(allow_nan=False) | st.text(max_size=16)
+        | st.binary(max_size=16),
+        lambda children: st.lists(children, max_size=3)
+        | st.dictionaries(st.text(max_size=4), children, max_size=3),
+        max_leaves=8,
+    )
+)
+def test_property_approx_size_upper_bounds_exact_size(value):
+    """approx_size is exact-or-overestimate for codec-supported values
+    (links must never undercharge)."""
+    exact = len(encode(value)) - 1  # minus the byteorder byte
+    approx = approx_size(value)
+    assert approx >= exact * 0.5  # same order...
+    assert approx >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_msgs=st.integers(1, 20),
+    payload_kb=st.integers(1, 64),
+)
+def test_property_network_conserves_bytes(n_msgs, payload_kb):
+    """Every byte sent over a connection shows up in link accounting."""
+    env = Environment()
+    net = Network(env)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", latency=0.001, bandwidth=1e8)
+    payload = b"x" * (payload_kb * 1024)
+
+    def server():
+        lst = net.host("b").listen(1)
+        conn = yield from lst.accept()
+        for _ in range(n_msgs):
+            yield from conn.recv()
+
+    def client():
+        conn = yield from net.host("a").connect("b", 1)
+        for _ in range(n_msgs):
+            conn.send(payload)
+
+    env.process(server())
+    env.process(client())
+    env.run()
+    carried = net.link("a", "b").bytes_carried
+    assert carried >= n_msgs * len(payload)
+    # Overhead is only the 64-byte control messages of the handshake.
+    assert carried <= n_msgs * len(payload) + 256

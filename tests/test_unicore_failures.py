@@ -1,0 +1,172 @@
+"""UNICORE failure-path tests: dead tiers, malformed traffic, timeouts."""
+
+import pytest
+
+from repro.des import Environment
+from repro.errors import TimeoutExpired, UnicoreError
+from repro.net import Firewall, Network
+from repro.unicore import (
+    AbstractJobObject,
+    Certificate,
+    ExecuteTask,
+    Gateway,
+    NetworkJobSupervisor,
+    TargetSystemInterface,
+    UnicoreClient,
+    UserIdentity,
+)
+from repro.unicore.security import TrustStore
+
+GATEWAY_PORT = 4433
+
+
+def world(register_vsite=True, njs_up=True):
+    env = Environment()
+    net = Network(env)
+    net.add_host("laptop")
+    net.add_host("hpc", firewall=Firewall.single_port(GATEWAY_PORT))
+    net.add_link("laptop", "hpc", latency=0.01, bandwidth=10e6 / 8)
+    gw = Gateway(net.host("hpc"), GATEWAY_PORT, trust=TrustStore({"CA"}),
+                 relay_timeout=2.0)
+    tsi = TargetSystemInterface(net.host("hpc"))
+    njs = NetworkJobSupervisor(net.host("hpc"), 9000, "SITE", tsi)
+    njs.register_application("SLEEPER", "sleep")
+    if register_vsite:
+        gw.register_vsite("SITE", "hpc", 9000)
+    gw.start()
+    if njs_up:
+        njs.start()
+    client = UnicoreClient(
+        net.host("laptop"), UserIdentity(Certificate("CN=u", "CA"), "u"),
+        "hpc", GATEWAY_PORT,
+    )
+    return env, net, gw, njs, tsi, client
+
+
+def test_gateway_reports_dead_njs():
+    """The vsite is registered but its NJS never started listening: the
+    gateway reports it unreachable instead of hanging."""
+    env, net, gw, njs, tsi, client = world(njs_up=False)
+    result = {}
+
+    def scenario():
+        yield from client.connect()
+        ajo = AbstractJobObject("j", "SITE")
+        ajo.add_task(ExecuteTask("run", "SLEEPER"))
+        try:
+            yield from client.consign(ajo)
+        except UnicoreError as exc:
+            result["error"] = str(exc)
+
+    env.process(scenario())
+    env.run(until=30.0)
+    assert "unreachable" in result["error"]
+
+
+def test_gateway_rejects_pre_auth_traffic():
+    env, net, gw, njs, tsi, client = world()
+    result = {}
+
+    def scenario():
+        conn = yield from net.host("laptop").connect("hpc", GATEWAY_PORT)
+        conn.send({"op": "consign", "vsite": "SITE"})  # no auth first
+        reply = yield from conn.recv(timeout=5.0)
+        result["reply"] = reply
+
+    env.process(scenario())
+    env.run(until=10.0)
+    assert result["reply"]["ok"] is False
+    assert "auth" in result["reply"]["error"]
+
+
+def test_gateway_rejects_malformed_request_after_auth():
+    env, net, gw, njs, tsi, client = world()
+    result = {}
+
+    def scenario():
+        yield from client.connect()
+        reply = yield from client.request({"op": "status"})  # no vsite
+        result["reply"] = reply
+
+    env.process(scenario())
+    env.run(until=10.0)
+    assert result["reply"]["ok"] is False
+    assert "malformed" in result["reply"]["error"]
+
+
+def test_client_request_before_connect_raises():
+    env, net, gw, njs, tsi, client = world()
+
+    def scenario():
+        with pytest.raises(UnicoreError, match="not connected"):
+            yield from client.request({"op": "status", "vsite": "SITE"})
+        return True
+        yield  # pragma: no cover
+
+    p = env.process(scenario())
+    assert env.run(until=p) is True
+
+
+def test_wait_for_times_out_on_long_job():
+    env, net, gw, njs, tsi, client = world()
+    result = {}
+
+    def scenario():
+        yield from client.connect()
+        ajo = AbstractJobObject("long", "SITE")
+        ajo.add_task(ExecuteTask("run", "SLEEPER", wall_time=100.0))
+        job_id = yield from client.consign(ajo)
+        try:
+            yield from client.wait_for("SITE", job_id, poll_interval=0.5,
+                                       timeout=3.0)
+        except TimeoutExpired as exc:
+            result["error"] = str(exc)
+
+    env.process(scenario())
+    env.run(until=30.0)
+    assert "still running" in result["error"]
+
+
+def test_session_reconnect_after_close():
+    env, net, gw, njs, tsi, client = world()
+    result = {}
+
+    def scenario():
+        yield from client.connect()
+        client.close()
+        assert not client.authenticated
+        yield from client.connect()
+        ajo = AbstractJobObject("j", "SITE")
+        ajo.add_task(ExecuteTask("run", "SLEEPER", wall_time=0.5))
+        job_id = yield from client.consign(ajo)
+        result["job_id"] = job_id
+
+    env.process(scenario())
+    env.run(until=30.0)
+    assert result["job_id"].startswith("SITE-job-")
+    assert gw.sessions_opened == 2
+
+
+def test_unknown_job_and_file_errors():
+    env, net, gw, njs, tsi, client = world()
+    result = {}
+
+    def scenario():
+        yield from client.connect()
+        try:
+            yield from client.status("SITE", "SITE-job-999")
+        except UnicoreError as exc:
+            result["status_err"] = str(exc)
+        ajo = AbstractJobObject("j", "SITE")
+        ajo.add_task(ExecuteTask("run", "SLEEPER", wall_time=0.2))
+        job_id = yield from client.consign(ajo)
+        yield from client.wait_for("SITE", job_id, poll_interval=0.2)
+        try:
+            yield from client.retrieve("SITE", job_id, "nothing.dat")
+        except UnicoreError as exc:
+            result["retrieve_err"] = str(exc)
+
+    env.process(scenario())
+    env.run(until=30.0)
+    assert "unknown job" in result["status_err"]
+    assert "no outcome file" in result["retrieve_err"]

@@ -1,0 +1,105 @@
+"""Tests for the util package: ids, stats, eventlog."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import EventLog, IdAllocator, RunningStats, Timeline, percentile
+from repro.util.ids import token_hex
+
+
+def test_id_allocator_sequence_and_isolation():
+    a = IdAllocator("job")
+    b = IdAllocator("job")
+    assert a.next() == "job-1"
+    assert a.next() == "job-2"
+    assert b.next() == "job-1"  # independent namespaces
+    assert a() == "job-3"  # callable form
+
+
+def test_token_hex_deterministic():
+    assert token_hex(random.Random(1)) == token_hex(random.Random(1))
+    assert token_hex(random.Random(1)) != token_hex(random.Random(2))
+    assert len(token_hex(random.Random(0), nbytes=4)) == 8
+
+
+def test_running_stats_known_values():
+    s = RunningStats()
+    s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert s.n == 8
+    assert s.mean == pytest.approx(5.0)
+    assert s.stdev == pytest.approx(2.138, rel=0.01)
+    assert s.min == 2.0 and s.max == 9.0
+
+
+def test_running_stats_empty_and_single():
+    s = RunningStats()
+    assert math.isnan(s.mean)
+    s.add(3.0)
+    assert s.mean == 3.0 and s.variance == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(xs=st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+def test_property_running_stats_matches_batch(xs):
+    s = RunningStats()
+    s.extend(xs)
+    mean = sum(xs) / len(xs)
+    var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+    assert s.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+    assert s.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+def test_percentile():
+    data = [1, 2, 3, 4, 5]
+    assert percentile(data, 0) == 1
+    assert percentile(data, 50) == 3
+    assert percentile(data, 100) == 5
+    assert percentile(data, 25) == 2
+    assert percentile([7], 99) == 7
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_timeline_record_window_last():
+    t = Timeline()
+    for i in range(10):
+        t.record(float(i), i * i)
+    assert len(t) == 10
+    assert t.last() == 81
+    w = t.window(2.0, 5.0)
+    assert w.times == [2.0, 3.0, 4.0]
+    assert w.values == [4, 9, 16]
+    with pytest.raises(IndexError):
+        Timeline().last()
+
+
+def test_eventlog_emit_select_first():
+    clock = {"now": 0.0}
+    log = EventLog(lambda: clock["now"])
+    log.emit("gateway", "connect", user="john")
+    clock["now"] = 5.0
+    log.emit("gateway", "relay", vsite="JUELICH")
+    log.emit("njs", "consign", job="j-1")
+    assert len(log) == 3
+    assert [r.kind for r in log.select(component="gateway")] == ["connect", "relay"]
+    assert log.select(kind="consign")[0].detail == {"job": "j-1"}
+    assert log.select(t0=1.0)[0].kind == "relay"
+    assert log.first(component="njs").time == 5.0
+    with pytest.raises(LookupError):
+        log.first(component="nobody")
+    dump = log.dump()
+    assert "gateway" in dump and "job=j-1" in dump
+
+
+def test_eventlog_bind_clock():
+    log = EventLog()
+    log.emit("x", "a")
+    assert log.select()[0].time == 0.0
+    clock = {"now": 9.0}
+    log.bind_clock(lambda: clock["now"])
+    log.emit("x", "b")
+    assert log.select(kind="b")[0].time == 9.0

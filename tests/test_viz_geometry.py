@@ -1,0 +1,217 @@
+"""Isosurface, cutplane, glyph and volume tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.viz import (
+    TimeHistory,
+    axis_slice,
+    cut_plane,
+    diamond_glyphs,
+    isosurface,
+    particle_points,
+    vector_glyphs,
+    volume_render,
+)
+from repro.viz.cutplane import trilinear_sample
+from repro.viz.glyphs import domain_boxes, processor_colors
+from repro.viz.isosurface import surface_area
+
+
+def sphere_field(n=24, radius=0.35):
+    """Distance field: negative inside a sphere centred in the unit box."""
+    ax = np.linspace(0, 1, n)
+    x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+    return np.sqrt((x - 0.5) ** 2 + (y - 0.5) ** 2 + (z - 0.5) ** 2) - radius
+
+
+def test_isosurface_sphere_area():
+    n = 32
+    field = sphere_field(n)
+    spacing = (1.0 / (n - 1),) * 3
+    verts, faces = isosurface(field, level=0.0, spacing=spacing)
+    assert len(faces) > 0
+    area = surface_area(verts, faces)
+    expected = 4.0 * np.pi * 0.35**2
+    assert area == pytest.approx(expected, rel=0.15)
+
+
+def test_isosurface_vertices_near_level():
+    n = 24
+    field = sphere_field(n)
+    spacing = (1.0 / (n - 1),) * 3
+    verts, _ = isosurface(field, level=0.0, spacing=spacing)
+    r = np.linalg.norm(verts - 0.5, axis=1)
+    # every vertex should sit on the sphere up to one cell size
+    assert np.all(np.abs(r - 0.35) < 2.0 / n)
+
+
+def test_isosurface_empty_when_level_outside_range():
+    field = sphere_field(12)
+    verts, faces = isosurface(field, level=10.0)
+    assert len(verts) == 0 and len(faces) == 0
+
+
+def test_isosurface_needs_3d():
+    with pytest.raises(ReproError):
+        isosurface(np.zeros((4, 4)), 0.0)
+
+
+def test_isosurface_degenerate_grid():
+    verts, faces = isosurface(np.zeros((1, 4, 4)), 0.5)
+    assert len(verts) == 0
+
+
+def test_isosurface_scales_with_resolution():
+    small = isosurface(sphere_field(12), 0.0)[1]
+    large = isosurface(sphere_field(32), 0.0)[1]
+    assert len(large) > 3 * len(small)
+
+
+def test_axis_slice_picks_plane():
+    field = np.arange(27, dtype=float).reshape(3, 3, 3)
+    sl = axis_slice(field, axis=0, position=1.0)
+    np.testing.assert_array_equal(sl, field[2])
+    sl = axis_slice(field, axis=2, position=0.0)
+    np.testing.assert_array_equal(sl, field[:, :, 0])
+
+
+def test_axis_slice_validation():
+    field = np.zeros((3, 3, 3))
+    with pytest.raises(ReproError):
+        axis_slice(field, 3, 0.5)
+    with pytest.raises(ReproError):
+        axis_slice(field, 0, 1.5)
+
+
+def test_trilinear_sample_exact_at_nodes():
+    rng = np.random.default_rng(0)
+    field = rng.random((4, 5, 6))
+    pts = np.array([[1, 2, 3], [0, 0, 0], [3, 4, 5]], dtype=float)
+    out = trilinear_sample(field, pts)
+    assert out[0] == pytest.approx(field[1, 2, 3])
+    assert out[1] == pytest.approx(field[0, 0, 0])
+    assert out[2] == pytest.approx(field[3, 4, 5])
+
+
+def test_trilinear_sample_linear_field_is_exact():
+    ax = np.arange(5, dtype=float)
+    x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+    field = 2 * x + 3 * y - z
+    pts = np.array([[0.5, 1.25, 3.75], [2.2, 0.1, 0.9]])
+    expected = 2 * pts[:, 0] + 3 * pts[:, 1] - pts[:, 2]
+    np.testing.assert_allclose(trilinear_sample(field, pts), expected, atol=1e-12)
+
+
+def test_cut_plane_through_linear_field():
+    ax = np.arange(8, dtype=float)
+    x, _, _ = np.meshgrid(ax, ax, ax, indexing="ij")
+    field = x.copy()
+    # plane x = 3.5: all sampled values must be ~3.5 (within clamping at edges)
+    coords, values = cut_plane(field, point=np.array([3.5, 3.5, 3.5]),
+                               normal=np.array([1.0, 0, 0]), resolution=16)
+    inside = np.all((coords >= 0) & (coords <= 7), axis=2)
+    assert np.allclose(values[inside], 3.5, atol=1e-9)
+
+
+def test_cut_plane_validation():
+    field = np.zeros((4, 4, 4))
+    with pytest.raises(ReproError):
+        cut_plane(field, np.zeros(3), np.zeros(3))
+    with pytest.raises(ReproError):
+        cut_plane(field, np.zeros(3), np.array([1.0, 0, 0]), resolution=1)
+
+
+def test_particle_points_and_colors():
+    pts = np.random.default_rng(0).random((10, 3))
+    proc = np.arange(10)
+    positions, colors = particle_points(pts, proc)
+    assert positions.shape == (10, 3)
+    assert colors.shape == (10, 3)
+    # processors 0 and 8 wrap to the same palette entry
+    np.testing.assert_array_equal(colors[0], colors[8])
+
+
+def test_processor_colors_wrap():
+    cols = processor_colors(np.array([0, 8, 16]))
+    assert np.all(cols[0] == cols[1]) and np.all(cols[1] == cols[2])
+
+
+def test_diamond_glyphs_counts():
+    pts = np.zeros((3, 3))
+    verts, faces = diamond_glyphs(pts, size=0.1)
+    assert verts.shape == (18, 3)
+    assert faces.shape == (24, 3)
+    assert faces.max() == 17
+
+
+def test_diamond_glyphs_empty():
+    verts, faces = diamond_glyphs(np.zeros((0, 3)))
+    assert len(verts) == 0 and len(faces) == 0
+
+
+def test_vector_glyphs():
+    pos = np.zeros((2, 3))
+    vel = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+    segs = vector_glyphs(pos, vel, scale=0.5)
+    np.testing.assert_array_equal(segs[0, 1], [0.5, 0, 0])
+    np.testing.assert_array_equal(segs[1, 1], [0, 1.0, 0])
+
+
+def test_domain_boxes():
+    bounds = np.array([[[0, 0, 0], [1, 1, 1]], [[1, 0, 0], [2, 1, 1]]], dtype=float)
+    segs = domain_boxes(bounds)
+    assert segs.shape == (24, 2, 3)
+    lengths = np.linalg.norm(segs[:, 1] - segs[:, 0], axis=1)
+    np.testing.assert_allclose(lengths, 1.0)
+
+
+def test_time_history_trails():
+    hist = TimeHistory(depth=3)
+    assert hist.trails().shape == (0, 2, 3)
+    for t in range(4):
+        hist.push(np.full((5, 3), float(t)))
+    assert len(hist) == 3  # rolling window
+    trails = hist.trails()
+    assert trails.shape == (10, 2, 3)
+
+
+def test_time_history_rejects_count_change():
+    hist = TimeHistory()
+    hist.push(np.zeros((4, 3)))
+    with pytest.raises(ReproError):
+        hist.push(np.zeros((5, 3)))
+
+
+def test_volume_render_shape_and_signal():
+    field = sphere_field(16)
+    img = volume_render(-field, axis=2)  # positive inside the sphere
+    assert img.shape == (16, 16, 3)
+    center = img[8, 8].astype(int).sum()
+    corner = img[0, 0].astype(int).sum()
+    assert center != corner  # the sphere is visible
+
+
+def test_volume_render_validation():
+    with pytest.raises(ReproError):
+        volume_render(np.zeros((4, 4)))
+    with pytest.raises(ReproError):
+        volume_render(np.zeros((4, 4, 4)), axis=5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    radius=st.floats(0.15, 0.45),
+    level=st.floats(-0.05, 0.05),
+)
+def test_property_isosurface_vertices_on_level_set(radius, level):
+    n = 20
+    field = sphere_field(n, radius)
+    verts, faces = isosurface(field, level=level, spacing=(1.0 / (n - 1),) * 3)
+    if len(verts) == 0:
+        return
+    r = np.linalg.norm(verts - 0.5, axis=1)
+    assert np.all(np.abs(r - (radius + level)) < 2.5 / n)

@@ -1,0 +1,121 @@
+"""Tests for vtkNetwork-style framebuffer multicasting."""
+
+import numpy as np
+import pytest
+
+from repro.accessgrid.vtknetwork import VicViewer, VtkNetworkRenderer
+from repro.des import Environment
+from repro.net import MulticastGroup, Network
+
+
+def world(n_viewers=2):
+    env = Environment()
+    net = Network(env)
+    net.add_host("vizhost")
+    for i in range(n_viewers):
+        net.add_host(f"viewer{i}")
+        net.add_link("vizhost", f"viewer{i}", latency=0.01 * (i + 1),
+                     bandwidth=10e6 / 8)
+    group = MulticastGroup(net, "233.1.1.1")
+    return env, net, group
+
+
+def test_stream_reaches_all_viewers_identically():
+    env, net, group = world(3)
+    vtk = VtkNetworkRenderer(net.host("vizhost"), group, width=32, height=24)
+    viewers = [VicViewer(net.host(f"viewer{i}"), group) for i in range(3)]
+    rng = np.random.default_rng(0)
+
+    def producer():
+        for _ in range(10):
+            vtk.renderer.fb.color[:] = rng.integers(0, 256,
+                                                    vtk.renderer.fb.color.shape,
+                                                    dtype=np.uint8)
+            vtk.publish_frame()
+            yield env.timeout(0.1)
+
+    env.process(producer())
+    env.run(until=5.0)
+    assert vtk.frames_published == 10
+    for v in viewers:
+        assert v.frames_decoded == 10
+        np.testing.assert_array_equal(v.current.color, vtk._prev.color)
+
+
+def test_late_joiner_waits_for_key_frame():
+    env, net, group = world(2)
+    vtk = VtkNetworkRenderer(net.host("vizhost"), group, width=16, height=16,
+                             key_frame_every=5)
+    early = VicViewer(net.host("viewer0"), group)
+    late_holder = {}
+
+    def producer():
+        for i in range(12):
+            vtk.renderer.fb.color[:, : i + 1] = 10 * (i + 1)
+            vtk.publish_frame()
+            yield env.timeout(0.1)
+
+    def late_join():
+        yield env.timeout(0.15)  # misses frame 0 (the first key frame)
+        late_holder["v"] = VicViewer(net.host("viewer1"), group)
+
+    env.process(producer())
+    env.process(late_join())
+    env.run(until=5.0)
+    late = late_holder["v"]
+    # Frames 2..4 are deltas it cannot decode; frame 5 is its first key.
+    assert late.frames_skipped > 0
+    assert late.frames_decoded > 0
+    np.testing.assert_array_equal(late.current.color, early.current.color)
+
+
+def test_key_frame_cadence_controls_bytes():
+    """All-key streams cost more than delta streams on static content."""
+    costs = {}
+    for every in (1, 30):
+        env, net, group = world(1)
+        vtk = VtkNetworkRenderer(net.host("vizhost"), group, width=64,
+                                 height=48, key_frame_every=every)
+        VicViewer(net.host("viewer0"), group)
+        rng = np.random.default_rng(1)
+        vtk.renderer.fb.color[:] = rng.integers(0, 256,
+                                                vtk.renderer.fb.color.shape,
+                                                dtype=np.uint8)
+
+        def producer():
+            for _ in range(10):  # static content after the first frame
+                vtk.publish_frame()
+                yield env.timeout(0.05)
+
+        env.process(producer())
+        env.run(until=3.0)
+        costs[every] = vtk.bytes_published
+    assert costs[30] < costs[1] / 5
+
+
+def test_patched_vic_event_backchannel():
+    env, net, group = world(1)
+    vtk = VtkNetworkRenderer(net.host("vizhost"), group, width=16, height=16)
+    received = []
+    vtk.on_remote_event = received.append
+    patched = VicViewer(net.host("viewer0"), group, patched=True)
+
+    def scenario():
+        vtk.publish_frame()
+        yield env.timeout(0.1)
+        patched.send_event(vtk, {"kind": "rotate", "angle": 0.3})
+        yield env.timeout(0.5)
+
+    env.process(scenario())
+    env.run(until=2.0)
+    assert received == [{"kind": "rotate", "angle": 0.3}]
+
+
+def test_standard_vic_cannot_send_events():
+    """The reason the paper preferred VizServer: unpatched vic viewers
+    are view-only."""
+    env, net, group = world(1)
+    vtk = VtkNetworkRenderer(net.host("vizhost"), group)
+    standard = VicViewer(net.host("viewer0"), group, patched=False)
+    with pytest.raises(PermissionError, match="VizServer"):
+        standard.send_event(vtk, {"kind": "rotate"})

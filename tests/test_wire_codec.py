@@ -1,0 +1,167 @@
+"""Codec unit + property tests: round-trips in both byte orders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.wire import coerce_array, decode, describe, encode, encoded_size
+
+
+@pytest.mark.parametrize("bo", ["<", ">"])
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**31 - 1,
+        -(2**31),
+        2**31,  # forces INT64
+        -(2**63),
+        3.14159,
+        float("inf"),
+        "",
+        "hello",
+        "ünïcödé ✓",
+        b"",
+        b"\x00\xff raw",
+        [],
+        [1, "two", 3.0, None],
+        {"a": 1, "b": [2, {"c": "deep"}]},
+    ],
+)
+def test_scalar_roundtrip(value, bo):
+    assert decode(encode(value, bo)) == value
+
+
+@pytest.mark.parametrize("bo", ["<", ">"])
+@pytest.mark.parametrize("dtype", [np.int32, np.int64, np.float32, np.float64])
+def test_array_roundtrip(dtype, bo):
+    arr = np.arange(24, dtype=dtype).reshape(2, 3, 4)
+    out = decode(encode(arr, bo))
+    assert out.dtype == np.dtype(dtype)
+    assert out.shape == arr.shape
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_decoded_array_is_native_order():
+    arr = np.linspace(0, 1, 10, dtype=np.float64)
+    out = decode(encode(arr, ">"))
+    assert out.dtype.byteorder in ("=", "<" if np.little_endian else ">")
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_empty_and_zero_dim_arrays():
+    empty = np.array([], dtype=np.float32)
+    out = decode(encode(empty))
+    assert out.shape == (0,) and out.dtype == np.float32
+    scalar = np.array(7.5, dtype=np.float64)  # 0-d
+    out = decode(encode(scalar))
+    assert out.shape == () and float(out) == 7.5
+
+
+def test_struct_inside_list_inside_struct():
+    value = {"rows": [{"x": np.arange(3, dtype=np.int32)}, {"x": None}]}
+    out = decode(encode(value))
+    np.testing.assert_array_equal(out["rows"][0]["x"], np.arange(3, dtype=np.int32))
+    assert out["rows"][1]["x"] is None
+
+
+def test_bool_not_confused_with_int():
+    assert decode(encode(True)) is True
+    assert decode(encode(1)) == 1
+    assert decode(encode(1)) is not True or decode(encode(1)) == 1
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(CodecError):
+        encode(object())
+
+
+def test_unsupported_array_dtype_raises():
+    with pytest.raises(CodecError):
+        encode(np.array(["a", "b"]))
+
+
+def test_non_string_struct_key_raises():
+    with pytest.raises(CodecError):
+        encode({1: "x"})
+
+
+def test_truncated_buffer_raises():
+    blob = encode({"a": np.arange(100, dtype=np.float64)})
+    with pytest.raises(CodecError):
+        decode(blob[: len(blob) // 2])
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(CodecError):
+        decode(encode(42) + b"\x00")
+
+
+def test_bad_byteorder_marker():
+    with pytest.raises(CodecError):
+        decode(b"\x07\x02\x00\x00\x00\x00")
+
+
+def test_encoded_size_matches():
+    value = {"field": np.zeros(128, dtype=np.float32)}
+    assert encoded_size(value) == len(encode(value))
+
+
+def test_describe():
+    assert describe(np.zeros((2, 3), dtype=np.float32)) == "array[float32][2, 3]"
+    assert describe({"b": 1, "a": 2}) == "struct{a,b}"
+    assert describe([1, 2]) == "list[2]"
+    assert describe(1.0) == "float"
+
+
+def test_coerce_array_precision():
+    arr = np.linspace(0, 1, 5, dtype=np.float64)
+    out = coerce_array(arr, np.float32)
+    assert out.dtype == np.float32
+    ints = coerce_array(np.array([1.9, 2.1]), np.int32)
+    assert ints.dtype == np.int32
+
+
+def test_coerce_array_bad_target():
+    with pytest.raises(CodecError):
+        coerce_array(np.zeros(3), np.complex128)
+
+
+# -- property tests -----------------------------------------------------------
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(value=json_like, bo=st.sampled_from(["<", ">"]))
+def test_property_roundtrip(value, bo):
+    assert decode(encode(value, bo)) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(st.floats(allow_nan=False, width=32), min_size=0, max_size=64),
+    dtype=st.sampled_from([np.float32, np.float64]),
+    bo=st.sampled_from(["<", ">"]),
+)
+def test_property_array_roundtrip(data, dtype, bo):
+    arr = np.array(data, dtype=dtype)
+    out = decode(encode(arr, bo))
+    assert out.dtype == np.dtype(dtype)
+    np.testing.assert_array_equal(out, arr)

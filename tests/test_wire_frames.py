@@ -1,0 +1,74 @@
+"""Frame codec tests: incremental parsing across arbitrary chunking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.wire import FrameDecoder, encode_frame
+
+
+def test_single_frame_roundtrip():
+    dec = FrameDecoder()
+    assert dec.feed(encode_frame(3, b"payload")) == [(3, b"payload")]
+    assert dec.pending_bytes == 0
+
+
+def test_empty_payload():
+    dec = FrameDecoder()
+    assert dec.feed(encode_frame(0, b"")) == [(0, b"")]
+
+
+def test_multiple_frames_one_feed():
+    dec = FrameDecoder()
+    blob = encode_frame(1, b"a") + encode_frame(2, b"bb") + encode_frame(3, b"ccc")
+    assert dec.feed(blob) == [(1, b"a"), (2, b"bb"), (3, b"ccc")]
+
+
+def test_byte_at_a_time():
+    dec = FrameDecoder()
+    blob = encode_frame(9, b"steering")
+    frames = []
+    for i in range(len(blob)):
+        frames.extend(dec.feed(blob[i : i + 1]))
+    assert frames == [(9, b"steering")]
+
+
+def test_split_across_header_boundary():
+    dec = FrameDecoder()
+    blob = encode_frame(5, b"xyz")
+    assert dec.feed(blob[:6]) == []
+    assert dec.pending_bytes == 6
+    assert dec.feed(blob[6:]) == [(5, b"xyz")]
+
+
+def test_bad_stream_id():
+    with pytest.raises(ProtocolError):
+        encode_frame(-1, b"")
+    with pytest.raises(ProtocolError):
+        encode_frame(2**32, b"")
+
+
+def test_oversized_length_rejected_on_decode():
+    import struct
+
+    dec = FrameDecoder()
+    with pytest.raises(ProtocolError):
+        dec.feed(struct.pack("<II", (1 << 30) + 1, 0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    frames=st.lists(
+        st.tuples(st.integers(0, 2**32 - 1), st.binary(max_size=64)), max_size=8
+    ),
+    chunk=st.integers(min_value=1, max_value=13),
+)
+def test_property_chunked_stream(frames, chunk):
+    blob = b"".join(encode_frame(sid, p) for sid, p in frames)
+    dec = FrameDecoder()
+    out = []
+    for i in range(0, len(blob), chunk):
+        out.extend(dec.feed(blob[i : i + chunk]))
+    assert out == frames
+    assert dec.pending_bytes == 0

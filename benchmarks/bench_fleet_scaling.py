@@ -1,0 +1,110 @@
+"""FLEET — hundreds of concurrent steering sessions on one testbed.
+
+The paper runs one collaborative session across UCL/Manchester/ANL; the
+fleet engine asks the production question: how do admission and steering
+latency hold up when 1 -> 128 sessions share the sc03 showfloor fabric?
+Each session is the full workflow (UNICORE consignment through a
+firewalled gateway, OGSA service deployment, registry publication,
+find -> bind -> steer), so the series measures the middleware fabric,
+not a stripped-down stand-in.
+
+Also regenerated here: the registry inverted index vs the naive linear
+scan at fleet-scale handle counts (the `find` every admission issues).
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.fleet import FleetDriver, fleet_of
+from repro.ogsa import RegistryService
+
+#: fleet sizes of the scaling series (override for smoke runs)
+FLEET_SIZES = tuple(
+    int(s) for s in os.environ.get("FLEET_SIZES", "1,8,32,128").split(",")
+)
+
+
+def _run_fleet(n_sessions: int):
+    specs = fleet_of(n_sessions, stagger=0.2)
+    t0 = time.perf_counter()
+    driver = FleetDriver(specs, n_sites=4)
+    report = driver.run(wall_seconds=None)
+    report.wall_seconds = time.perf_counter() - t0
+    return report
+
+
+def test_fleet_scaling(benchmark, reporter):
+    def sweep():
+        return {n: _run_fleet(n) for n in FLEET_SIZES}
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for n, rep in sorted(results.items()):
+        rows.append(rep.summary_row() + [f"{rep.wall_seconds:.2f}"])
+    reporter.table(
+        "FLEET: N concurrent sessions on the sc03 showfloor fabric "
+        "(full UNICORE+OGSA workflow each)",
+        ["sessions", "completed", "steer ops", "p50 (ms)", "p90 (ms)",
+         "p99 (ms)", "admit p90 (ms)", "makespan (s)", "wall (s)"],
+        rows,
+    )
+    for n, rep in results.items():
+        # Every admitted session must complete with zero steering timeouts.
+        assert rep.completed == n, (n, rep.render(per_session=True))
+        assert rep.timeouts == 0, (n, rep.render())
+        # Bounded wall-clock: the whole fleet stays far under a minute
+        # of virtual time and the engine keeps up in real time.
+        assert rep.makespan < 60.0
+    # Steering latency is a property of the link classes, not the fleet
+    # size: the p50 may not blow up as sessions multiply.
+    p50s = [rep.steer_p50 for rep in results.values()]
+    assert max(p50s) < 4 * min(p50s)
+
+
+def test_fleet_smoke(reporter):
+    """CI smoke: one session end-to-end through the whole fabric."""
+    rep = _run_fleet(1)
+    reporter.note(
+        f"FLEET smoke: {rep.completed}/1 completed, "
+        f"p50={rep.steer_p50 * 1e3:.1f}ms wall={rep.wall_seconds:.2f}s"
+    )
+    assert rep.completed == 1 and rep.failed == 0
+
+
+def test_registry_indexed_vs_naive_scan(benchmark, reporter):
+    """`find` on >= 1000 published handles: inverted index vs linear scan."""
+    n_handles, n_finds = 2000, 300
+    reg = RegistryService()
+    for i in range(n_handles):
+        reg.publish(
+            f"gsh://site-{i % 8}:8000/svc-{i}",
+            {"type": "steering" if i % 2 else "viz-steering",
+             "application": f"app-{i % 50}", "site": f"site-{i % 8}"},
+        )
+    query = {"application": "app-7", "type": "steering"}
+    assert reg.find(query) == reg._find_naive(query)
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        for _ in range(n_finds):
+            fn(query)
+        return time.perf_counter() - t0
+
+    def measure():
+        return timed(reg.find), timed(reg._find_naive)
+
+    indexed_s, naive_s = run_once(benchmark, measure)
+    speedup = naive_s / indexed_s
+    reporter.table(
+        f"REGISTRY: {n_finds} x find over {n_handles} published handles",
+        ["impl", "total (ms)", "per find (us)", "speedup"],
+        [
+            ["inverted index", f"{indexed_s * 1e3:.1f}",
+             f"{indexed_s / n_finds * 1e6:.1f}", f"{speedup:.1f}x"],
+            ["naive scan", f"{naive_s * 1e3:.1f}",
+             f"{naive_s / n_finds * 1e6:.1f}", "1.0x"],
+        ],
+    )
+    # The acceptance bar: measurably faster than the naive scan.
+    assert speedup > 3.0, f"index only {speedup:.2f}x faster"

@@ -24,6 +24,9 @@ Subpackage map (see DESIGN.md for the full inventory):
   cost models.
 * :mod:`repro.workloads` -- 2003-era network profiles, feedback-loop cost
   models, canned multi-site scenarios.
+* :mod:`repro.fleet` -- the session-fleet engine: declarative scenario
+  specs, a driver running hundreds of concurrent sessions, sharded
+  registry federation, vbroker pooling, mergeable telemetry.
 """
 
 __version__ = "1.0.0"
@@ -42,6 +45,7 @@ __all__ = [
     "viz",
     "parallel",
     "workloads",
+    "fleet",
     "util",
     "errors",
 ]

@@ -1,0 +1,56 @@
+"""repro.fleet: a grid-scale session-fleet engine.
+
+The paper demonstrates one collaborative steering session across three
+sites; this package asks the production question — what happens when
+*hundreds* of sessions share the testbed — with the job/worker split of
+modern crawler fleets applied to 2003 grid middleware:
+
+* :mod:`repro.fleet.spec` — declarative :class:`ScenarioSpec`s plus
+  generators sweeping the paper's four applications across the era's
+  network profiles;
+* :mod:`repro.fleet.driver` — the :class:`FleetDriver` that admits N
+  concurrent sessions (full UNICORE -> OGSA -> steer workflow each) into
+  one DES environment with staggered admission;
+* :mod:`repro.fleet.registry_fed` — sharded registry front-ends over
+  :mod:`repro.ogsa.registry`, shared-shard federation across sites;
+* :mod:`repro.fleet.brokerpool` — least-loaded placement of
+  collaborative sessions onto a pool of VISIT vbrokers with
+  master-token-aware failover;
+* :mod:`repro.fleet.telemetry` — mergeable per-session / fleet-wide
+  latency accumulators (no raw sample streams retained);
+* :mod:`repro.fleet.report` — the structured :class:`FleetReport`
+  consumed by ``benchmarks/bench_fleet_scaling.py``.
+"""
+
+from repro.fleet.spec import (
+    SIM_KINDS,
+    ScenarioSpec,
+    fleet_of,
+    make_sim,
+    paper_suite,
+    sweep_scenarios,
+)
+from repro.fleet.registry_fed import FederatedRegistry, make_shards
+from repro.fleet.brokerpool import BrokerPool
+from repro.fleet.telemetry import FleetTelemetry, LatencyProbe, SessionTelemetry
+from repro.fleet.report import FleetReport, SessionRow
+from repro.fleet.driver import FleetDriver, FleetSite
+
+__all__ = [
+    "SIM_KINDS",
+    "ScenarioSpec",
+    "make_sim",
+    "paper_suite",
+    "sweep_scenarios",
+    "fleet_of",
+    "FederatedRegistry",
+    "make_shards",
+    "BrokerPool",
+    "FleetTelemetry",
+    "LatencyProbe",
+    "SessionTelemetry",
+    "FleetReport",
+    "SessionRow",
+    "FleetDriver",
+    "FleetSite",
+]

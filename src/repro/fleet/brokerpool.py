@@ -1,0 +1,116 @@
+"""A load-balanced pool of VISIT vbrokers for collaborative fan-out.
+
+One vbroker multiplexes one simulation to k visualizations (paper section
+3.3).  A fleet of collaborative sessions needs many, and they should not
+all land on one host — so the pool places each session on the
+least-loaded broker and handles the master-token when participants die:
+if a session's master visualization is gone, the token moves to the next
+live participant instead of stalling every steer request into timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import VisitError
+from repro.visit.vbroker import VBroker
+
+
+class BrokerPool:
+    """Least-loaded placement of sessions onto a fixed broker set."""
+
+    def __init__(self, brokers: list[VBroker]) -> None:
+        if not brokers:
+            raise VisitError("broker pool needs at least one broker")
+        self.brokers = list(brokers)
+        #: session name -> broker index
+        self._placement: dict[str, int] = {}
+
+    @classmethod
+    def build(
+        cls,
+        net,
+        host_names: list[str],
+        port: int = 7000,
+        password: str = "fleet",
+        brokers_per_host: int = 1,
+        request_timeout: float = 2.0,
+    ) -> "BrokerPool":
+        """Create and start one (or more) vbrokers per named host."""
+        brokers = []
+        for host_name in host_names:
+            for k in range(brokers_per_host):
+                broker = VBroker(
+                    net.host(host_name), port + k, password,
+                    request_timeout=request_timeout,
+                )
+                broker.start()
+                brokers.append(broker)
+        return cls(brokers)
+
+    # -- placement ---------------------------------------------------------
+
+    def load(self, idx: int) -> tuple[int, int]:
+        """Load key of a broker: (assigned sessions, live participants)."""
+        broker = self.brokers[idx]
+        assigned = sum(1 for b in self._placement.values() if b == idx)
+        return (assigned, len(broker.participants()))
+
+    def place(self, session: str) -> VBroker:
+        """Assign a session to the least-loaded broker (stable on repeat)."""
+        if session in self._placement:
+            return self.brokers[self._placement[session]]
+        idx = min(range(len(self.brokers)), key=lambda i: (self.load(i), i))
+        self._placement[session] = idx
+        return self.brokers[idx]
+
+    def broker_for(self, session: str) -> VBroker:
+        idx = self._placement.get(session)
+        if idx is None:
+            raise VisitError(f"session {session!r} has no broker placement")
+        return self.brokers[idx]
+
+    def release(self, session: str) -> None:
+        self._placement.pop(session, None)
+
+    def placements(self) -> dict[str, int]:
+        return dict(self._placement)
+
+    # -- participants ------------------------------------------------------
+
+    def add_visualization(self, session: str, viz_name: str,
+                          server_host: str, port: int):
+        """Generator: connect a participant through the session's broker."""
+        broker = self.broker_for(session)
+        result = yield from broker.add_visualization(viz_name, server_host, port)
+        return result
+
+    def ensure_master(self, session: str) -> Optional[str]:
+        """Master-token-aware failover for one session's broker.
+
+        Drops participants whose connection has died; if the master was
+        among them, the broker hands the token to the next live
+        participant (VBroker's removal rule).  Returns the master after
+        repair, or None when nobody is left to steer.
+        """
+        broker = self.broker_for(session)
+        broker.prune_dead()
+        return broker.master
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> list[dict]:
+        out = []
+        for i, broker in enumerate(self.brokers):
+            assigned, participants = self.load(i)
+            out.append(
+                {
+                    "host": broker.host.name,
+                    "port": broker.port,
+                    "sessions": assigned,
+                    "participants": participants,
+                    "master": broker.master,
+                    "fanout_messages": broker.fanout_messages,
+                }
+            )
+        return out

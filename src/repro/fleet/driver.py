@@ -1,0 +1,317 @@
+"""The FleetDriver: N concurrent steering sessions on one simulated grid.
+
+The driver is the worker-fleet half of the job/worker split: it takes a
+list of declarative :class:`~repro.fleet.spec.ScenarioSpec`s and runs
+every one as a full paper-faithful session — UNICORE consignment through
+a firewalled gateway, outbound control/sample links, OGSA service
+deployment, registry publication, then a registry-find -> bind -> steer
+loop — all inside a single DES :class:`~repro.des.Environment`, with
+staggered admission so the fleet ramps up like real traffic.
+
+Topology: the :func:`~repro.workloads.scenarios.sc03_showfloor` venue
+fabric supplies the participant (AG) sites; the driver adds per-site HPC
+hosts (single-port gateways, like the UCL Onyx) and service hosts (the
+Manchester-style OGSI::Lite containers), and wires service<->participant
+links so that every network profile a spec can ask for is available at
+every site.  Registry traffic goes through per-site
+:class:`~repro.fleet.registry_fed.FederatedRegistry` front-ends sharing
+one shard set, so a session admitted at site 2 is discoverable from a
+client at site 0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.des import Environment
+from repro.errors import ReproError
+from repro.fleet.registry_fed import FederatedRegistry, make_shards
+from repro.fleet.report import FleetReport
+from repro.fleet.spec import ScenarioSpec
+from repro.fleet.telemetry import FleetTelemetry
+from repro.net import Firewall
+from repro.ogsa import HandleResolver, OgsaSteeringClient, OgsiLiteContainer
+from repro.steering.orchestrator import (
+    RealityGridOrchestrator,
+    make_outbound_app_factory,
+)
+from repro.unicore import (
+    Certificate,
+    Gateway,
+    NetworkJobSupervisor,
+    TargetSystemInterface,
+    UnicoreClient,
+    UserIdentity,
+)
+from repro.unicore.security import TrustStore
+from repro.workloads.netprofiles import (
+    CAMPUS,
+    CONFERENCE_FLOOR,
+    PROFILES,
+    SUPERJANET,
+    TRANSATLANTIC,
+    link_with_profile,
+)
+from repro.workloads.scenarios import sc03_showfloor
+
+GATEWAY_PORT = 4433
+NJS_PORT = 9000
+CONTAINER_PORT = 8000
+SESSION_PORT_BASE = 20000
+
+#: profiles wired between every service site and the AG sites
+_SITE_PROFILE_CYCLE = (CAMPUS, SUPERJANET, TRANSATLANTIC, CONFERENCE_FLOOR)
+
+
+@dataclass
+class FleetSite:
+    """One site's middleware stack: HPC side + service side."""
+
+    index: int
+    hpc_name: str
+    svc_name: str
+    vsite: str
+    gateway: Gateway
+    njs: NetworkJobSupervisor
+    tsi: TargetSystemInterface
+    container: OgsiLiteContainer
+    registry: FederatedRegistry
+
+
+class FleetDriver:
+    """Run a fleet of scenario specs to completion and report."""
+
+    def __init__(
+        self,
+        specs: list[ScenarioSpec],
+        n_sites: int = 4,
+        env: Optional[Environment] = None,
+        registry_shards: int = 4,
+        observer_ops: int = 2,
+        reservoir: int = 128,
+    ) -> None:
+        if not specs:
+            raise ReproError("a fleet needs at least one scenario spec")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ReproError("scenario spec names must be unique")
+        self.specs = list(specs)
+        self.observer_ops = observer_ops
+        self.telemetry = FleetTelemetry(reservoir=reservoir)
+        self.resolver = HandleResolver()
+        self.shards = make_shards(registry_shards)
+
+        env, net, ag_sites = sc03_showfloor(n_sites, env=env)
+        self.env = env
+        self.net = net
+        self.ag_sites = ag_sites
+        self.sites: list[FleetSite] = []
+        #: (site index, profile name) -> participant host carrying it
+        self._client_for: dict[tuple[int, str], str] = {}
+
+        sessions_per_site = -(-len(specs) // n_sites)  # ceil
+        for i in range(n_sites):
+            self.sites.append(
+                self._build_site(i, queue_slots=max(2, sessions_per_site))
+            )
+        self._place_and_register()
+
+    # -- fabric ------------------------------------------------------------
+
+    def _build_site(self, i: int, queue_slots: int) -> FleetSite:
+        net = self.net
+        hpc_name, svc_name = f"hpc-{i}", f"svc-{i}"
+        hpc = net.add_host(hpc_name, firewall=Firewall.single_port(GATEWAY_PORT))
+        svc = net.add_host(svc_name)
+        # The compute -> viz path (UCL Onyx -> Manchester Bezier).
+        link_with_profile(net, hpc_name, svc_name, SUPERJANET)
+        # Every AG site reaches this service host over a rotating link
+        # class, so each site offers every profile on some participant.
+        for j, ag in enumerate(self.ag_sites):
+            profile = _SITE_PROFILE_CYCLE[(i + j) % len(_SITE_PROFILE_CYCLE)]
+            link_with_profile(net, svc_name, ag, profile)
+            self._client_for.setdefault((i, profile.name), ag)
+
+        trust = TrustStore({"CA"})
+        gateway = Gateway(hpc, GATEWAY_PORT, trust=trust)
+        tsi = TargetSystemInterface(hpc, queue_slots=queue_slots)
+        njs = NetworkJobSupervisor(hpc, NJS_PORT, f"SITE-{i}", tsi)
+        gateway.register_vsite(f"SITE-{i}", hpc_name, NJS_PORT)
+        gateway.start()
+        njs.start()
+
+        container = OgsiLiteContainer(svc, CONTAINER_PORT)
+        registry = FederatedRegistry("registry", shards=self.shards)
+        container.deploy(registry)
+        container.start()
+        return FleetSite(
+            index=i, hpc_name=hpc_name, svc_name=svc_name, vsite=f"SITE-{i}",
+            gateway=gateway, njs=njs, tsi=tsi, container=container,
+            registry=registry,
+        )
+
+    def _client_host(self, site: FleetSite, spec: ScenarioSpec) -> str:
+        """A participant host whose uplink to the site's service host has
+        the spec's profile; odd profiles (lan/dsl) get a dedicated host."""
+        key = (site.index, spec.profile)
+        name = self._client_for.get(key)
+        if name is None:
+            name = f"obs-{spec.profile}-{site.index}"
+            self.net.add_host(name)
+            link_with_profile(
+                self.net, site.svc_name, name, PROFILES[spec.profile]
+            )
+            self._client_for[key] = name
+        return name
+
+    def _place_and_register(self) -> None:
+        """Round-robin sessions over sites; register one application per
+        session (each spec may carry different sim arguments)."""
+        self._placements: list[tuple[ScenarioSpec, FleetSite, str, int]] = []
+        for idx, spec in enumerate(self.specs):
+            site = self.sites[idx % len(self.sites)]
+            client = self._client_host(site, spec)
+            control_port = SESSION_PORT_BASE + 2 * idx
+            factory = make_outbound_app_factory(
+                spec.make_sim,
+                service_host_name=site.svc_name,
+                control_port=control_port,
+                sample_port=control_port + 1,
+                compute_time=spec.compute_time,
+                sample_interval=spec.sample_interval,
+                max_steps=spec.steps,
+            )
+            site.tsi.register_application(spec.name, factory)
+            site.njs.register_application(spec.name, spec.name)
+            self._placements.append((spec, site, client, control_port))
+
+    # -- session processes -------------------------------------------------
+
+    def _session(self, spec: ScenarioSpec, site: FleetSite, client_name: str,
+                 control_port: int):
+        env = self.env
+        tel = self.telemetry.session(spec.name)
+        yield env.timeout(spec.admission_offset)
+        started = env.now
+        client_host = self.net.host(client_name)
+        uc = UnicoreClient(
+            client_host,
+            UserIdentity(Certificate(f"CN={spec.name}", "CA"), spec.name),
+            site.hpc_name, GATEWAY_PORT,
+        )
+        orch = RealityGridOrchestrator(
+            uc, site.container, self.resolver,
+            control_port=control_port, sample_port=control_port + 1,
+        )
+        client = OgsaSteeringClient(
+            client_host, self.resolver, site.svc_name, CONTAINER_PORT
+        )
+        try:
+            yield from uc.connect()
+            yield from orch.launch(
+                spec.name, site.vsite,
+                arguments={"steps": spec.steps}, job_name=spec.name,
+            )
+            tel.record_admission(started, env.now)
+
+            t0 = env.now
+            found = yield from client.find_services(application=spec.name)
+            tel.record_find(env.now - t0)
+            steer = next(
+                e["handle"] for e in found
+                if e["metadata"]["type"] == "steering"
+            )
+            yield from client.bind(steer)
+            if spec.participants > 1:
+                for p in range(1, spec.participants):
+                    env.process(self._observer(spec, site, steer, p))
+
+            for k in range(spec.n_ops):
+                t0 = env.now
+                try:
+                    if k % 2 == 0:
+                        yield from client.invoke(
+                            steer, "set_parameter",
+                            name=spec.steer_param,
+                            value=spec.steer_value(k // 2),
+                        )
+                    else:
+                        yield from client.invoke(steer, "get_status")
+                    tel.record_steer(env.now - t0)
+                except ReproError as exc:
+                    if "timed out" in str(exc):
+                        tel.record_timeout()
+                    else:
+                        tel.record_error()
+                yield env.timeout(spec.cadence)
+            yield from client.invoke(steer, "stop")
+            tel.mark_completed(env.now)
+        except ReproError as exc:
+            tel.mark_failed(f"{type(exc).__name__}: {exc}", env.now)
+        finally:
+            client.close()
+            uc.close()
+
+    def _observer(self, spec: ScenarioSpec, site: FleetSite, steer: str,
+                  p: int):
+        """An extra collaborator: binds the same steering service and
+        watches status (the non-master participants of section 2.4)."""
+        env = self.env
+        tel = self.telemetry.session(spec.name)
+        client_name = self._client_for.get(
+            (site.index, spec.profile), self.ag_sites[p % len(self.ag_sites)]
+        )
+        client = OgsaSteeringClient(
+            self.net.host(client_name), self.resolver,
+            site.svc_name, CONTAINER_PORT,
+        )
+        try:
+            yield from client.bind(steer)
+            for _ in range(self.observer_ops):
+                t0 = env.now
+                try:
+                    yield from client.invoke(steer, "get_status")
+                    tel.record_steer(env.now - t0)
+                except ReproError as exc:
+                    if "timed out" in str(exc):
+                        tel.record_timeout()
+                    else:
+                        tel.record_error()
+                yield env.timeout(spec.cadence * 2)
+        except ReproError:
+            tel.record_error()
+        finally:
+            client.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def deadline(self, grace: float = 45.0) -> float:
+        """When every session should long be done: last admission offset
+        plus the longest duration plus launch/teardown slack."""
+        last = max(s.admission_offset for s in self.specs)
+        longest = max(s.duration + s.cadence * 2 for s in self.specs)
+        return last + longest + grace
+
+    def run(self, until: Optional[float] = None,
+            wall_seconds: Optional[float] = None) -> FleetReport:
+        """Admit every session and run the world; returns the report."""
+        for spec, site, client, port in self._placements:
+            self.env.process(self._session(spec, site, client, port))
+        self.env.run(until=self.deadline() if until is None else until)
+        return self.report(wall_seconds=wall_seconds)
+
+    def report(self, wall_seconds: Optional[float] = None) -> FleetReport:
+        finished = [
+            t.finished_at
+            for t in self.telemetry.sessions.values()
+            if t.finished_at is not None
+        ]
+        makespan = max(finished) if finished else self.env.now
+        if math.isnan(makespan):
+            makespan = self.env.now
+        return FleetReport.from_telemetry(
+            self.telemetry, makespan=makespan, wall_seconds=wall_seconds,
+            specs={s.name: s for s in self.specs},
+        )

@@ -1,0 +1,142 @@
+"""Per-session and fleet-wide steering telemetry.
+
+Built on the mergeable accumulators of :mod:`repro.util.stats`: each
+session records its own latencies into a :class:`LatencyProbe`
+(Welford stats + a uniform reservoir), and the fleet aggregate is the
+exact merge of the per-session stats — no raw sample stream is ever
+stored, so telemetry stays O(sessions), not O(operations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.util.stats import ReservoirSample, RunningStats
+
+
+class LatencyProbe:
+    """One latency series: streaming moments + a mergeable reservoir."""
+
+    def __init__(self, reservoir: int = 128, seed: int = 0) -> None:
+        self.stats = RunningStats()
+        self.sample = ReservoirSample(capacity=reservoir, seed=seed)
+
+    def add(self, dt: float) -> None:
+        self.stats.add(dt)
+        self.sample.add(dt)
+
+    def merge(self, other: "LatencyProbe") -> "LatencyProbe":
+        self.stats.merge(other.stats)
+        self.sample.merge(other.sample)
+        return self
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (q in [0, 100]); NaN when empty."""
+        if self.stats.n == 0:
+            return math.nan
+        return self.sample.percentile(q)
+
+    @property
+    def n(self) -> int:
+        return self.stats.n
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+
+class SessionTelemetry:
+    """Everything the fleet records about one steering session."""
+
+    def __init__(self, name: str, reservoir: int = 128, seed: int = 0) -> None:
+        self.name = name
+        self.steer_latency = LatencyProbe(reservoir, seed=seed * 3 + 1)
+        self.find_latency = LatencyProbe(reservoir, seed=seed * 3 + 2)
+        self.admit_latency = LatencyProbe(reservoir, seed=seed * 3 + 3)
+        self.ops = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.completed = False
+        self.failure: Optional[str] = None
+        self.admitted_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def record_admission(self, started: float, now: float) -> None:
+        self.admitted_at = now
+        self.admit_latency.add(now - started)
+
+    def record_find(self, dt: float) -> None:
+        self.find_latency.add(dt)
+
+    def record_steer(self, dt: float) -> None:
+        self.steer_latency.add(dt)
+        self.ops += 1
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+
+    def record_error(self) -> None:
+        self.errors += 1
+
+    def mark_completed(self, now: float) -> None:
+        self.completed = True
+        self.finished_at = now
+
+    def mark_failed(self, reason: str, now: float) -> None:
+        self.failure = reason
+        self.finished_at = now
+
+    @property
+    def session_time(self) -> float:
+        if self.admitted_at is None or self.finished_at is None:
+            return math.nan
+        return self.finished_at - self.admitted_at
+
+
+class FleetTelemetry:
+    """The fleet-wide ledger: one SessionTelemetry per session plus
+    merged aggregates computed on demand."""
+
+    def __init__(self, reservoir: int = 128) -> None:
+        self.reservoir = reservoir
+        self.sessions: dict[str, SessionTelemetry] = {}
+
+    def session(self, name: str) -> SessionTelemetry:
+        tel = self.sessions.get(name)
+        if tel is None:
+            tel = SessionTelemetry(
+                name, reservoir=self.reservoir, seed=len(self.sessions)
+            )
+            self.sessions[name] = tel
+        return tel
+
+    # -- aggregation -------------------------------------------------------
+
+    def _merged(self, attr: str) -> LatencyProbe:
+        out = LatencyProbe(self.reservoir, seed=10_007)
+        for tel in self.sessions.values():
+            out.merge(getattr(tel, attr))
+        return out
+
+    def merged_steer_latency(self) -> LatencyProbe:
+        return self._merged("steer_latency")
+
+    def merged_find_latency(self) -> LatencyProbe:
+        return self._merged("find_latency")
+
+    def merged_admit_latency(self) -> LatencyProbe:
+        return self._merged("admit_latency")
+
+    def totals(self) -> dict:
+        sessions = self.sessions.values()
+        return {
+            "sessions": len(self.sessions),
+            "completed": sum(1 for t in sessions if t.completed),
+            "failed": sum(1 for t in sessions if t.failure is not None),
+            "ops": sum(t.ops for t in sessions),
+            "timeouts": sum(t.timeouts for t in sessions),
+            "errors": sum(t.errors for t in sessions),
+        }

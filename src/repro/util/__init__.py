@@ -1,13 +1,21 @@
 """Small shared utilities: id generation, statistics, event logging."""
 
 from repro.util.ids import IdAllocator, token_hex
-from repro.util.stats import RunningStats, Timeline, percentile
+from repro.util.stats import (
+    P2Quantile,
+    ReservoirSample,
+    RunningStats,
+    Timeline,
+    percentile,
+)
 from repro.util.eventlog import EventLog, LogRecord
 
 __all__ = [
     "IdAllocator",
     "token_hex",
     "RunningStats",
+    "P2Quantile",
+    "ReservoirSample",
     "Timeline",
     "percentile",
     "EventLog",

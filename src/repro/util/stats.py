@@ -1,8 +1,17 @@
-"""Running statistics and time-series helpers used by benches and tests."""
+"""Running statistics and time-series helpers used by benches and tests.
+
+Fleet-scale telemetry (``repro.fleet.telemetry``) aggregates hundreds of
+per-session accumulators, so the streaming types here are *mergeable*:
+:meth:`RunningStats.merge` folds two Welford accumulators exactly, and
+:class:`ReservoirSample` supports a weighted union that preserves the
+uniform-sample property.  :class:`P2Quantile` estimates one quantile in
+O(1) space for the single-stream case.
+"""
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 
 
@@ -33,6 +42,33 @@ class RunningStats:
     def extend(self, xs) -> None:
         for x in xs:
             self.add(x)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Fold another accumulator into this one, in place.
+
+        Uses the parallel-variance combination (Chan et al.), so merging
+        per-session accumulators gives exactly the statistics of the
+        concatenated sample streams.  Returns ``self`` for chaining.
+        """
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * (self.n * other.n) / n
+        self._mean += delta * (other.n / n)
+        self.n = n
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
 
     @property
     def mean(self) -> float:
@@ -65,6 +101,149 @@ def percentile(samples, q: float) -> float:
     hi = int(math.ceil(pos))
     frac = pos - lo
     return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+class P2Quantile:
+    """Streaming single-quantile estimator (Jain & Chlamtac's P² algorithm).
+
+    Tracks one quantile ``q`` in O(1) space with five markers whose heights
+    are adjusted by a piecewise-parabolic fit as observations arrive.  For
+    fewer than five observations the exact sample quantile is returned.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q!r}")
+        self.q = q
+        self.n = 0
+        self._heights: list[float] = []
+        self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._dn = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.n += 1
+        if len(self._heights) < 5:
+            self._heights.append(x)
+            self._heights.sort()
+            return
+        h, pos = self._heights, self._pos
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = next(i for i in range(4) if h[i] <= x < h[i + 1])
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._dn[i]
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d > 0 else -1.0
+                cand = self._parabolic(i, step)
+                if not h[i - 1] < cand < h[i + 1]:
+                    cand = self._linear(i, step)
+                h[i] = cand
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._pos
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._pos
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        if self.n == 0:
+            return math.nan
+        if len(self._heights) < 5 or self.n <= 5:
+            return percentile(self._heights[: self.n], self.q * 100.0)
+        return self._heights[2]
+
+
+class ReservoirSample:
+    """Fixed-size uniform sample of an unbounded stream (algorithm R).
+
+    The reservoir is *mergeable*: :meth:`merge` performs a weighted union
+    of two reservoirs so that the result is (approximately) a uniform
+    sample of the concatenated streams — the property fleet telemetry
+    needs to aggregate per-session latency percentiles without keeping
+    every observation.
+    """
+
+    def __init__(self, capacity: int = 256, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.n = 0
+        self._rng = random.Random(seed)
+        self._items: list[float] = []
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        if len(self._items) < self.capacity:
+            self._items.append(float(x))
+            return
+        j = self._rng.randrange(self.n)
+        if j < self.capacity:
+            self._items[j] = float(x)
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    def merge(self, other: "ReservoirSample") -> "ReservoirSample":
+        """Weighted union with another reservoir, in place; returns self."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._items = list(other._items)
+            if len(self._items) > self.capacity:
+                self._items = self._rng.sample(self._items, self.capacity)
+            return self
+        a, b = list(self._items), list(other._items)
+        # Each retained item stands for n/len(items) observations of its
+        # stream; draw from the two pools proportionally to the weight of
+        # what remains in each.
+        wa, wb = float(self.n), float(other.n)
+        da, db = self.n / len(a), other.n / len(b)
+        merged: list[float] = []
+        while (a or b) and len(merged) < self.capacity:
+            take_a = bool(a) and (
+                not b or self._rng.random() < wa / (wa + wb)
+            )
+            if take_a:
+                merged.append(a.pop(self._rng.randrange(len(a))))
+                wa -= da
+            else:
+                merged.append(b.pop(self._rng.randrange(len(b))))
+                wb -= db
+        self._items = merged
+        self.n += other.n
+        return self
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (q in [0, 100]) of the stream."""
+        if not self._items:
+            raise ValueError("percentile of an empty reservoir")
+        return percentile(self._items, q)
+
+    def __len__(self) -> int:
+        return len(self._items)
 
 
 @dataclass

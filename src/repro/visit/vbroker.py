@@ -99,6 +99,19 @@ class VBroker:
         if self._master == name:
             self._master = next(iter(self._downstream), None)
 
+    def prune_dead(self) -> list[str]:
+        """Drop participants whose connection has died; returns their
+        names.  If the master was among them the token moves to the next
+        live participant (the removal rule above)."""
+        dead = [
+            name
+            for name, ds in self._downstream.items()
+            if ds.conn is None or ds.conn.closed
+        ]
+        for name in dead:
+            self.remove_visualization(name)
+        return dead
+
     @property
     def master(self) -> Optional[str]:
         return self._master

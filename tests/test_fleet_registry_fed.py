@@ -1,0 +1,98 @@
+"""Sharded/federated registry: routing, parity with one big registry,
+and shared-shard federation across several front-ends."""
+
+import pytest
+
+from repro.errors import OgsaError
+from repro.fleet import FederatedRegistry, make_shards
+from repro.ogsa import RegistryService
+
+
+def _handles(results):
+    return [e["handle"] for e in results]
+
+
+def _populate(reg, n=60):
+    for i in range(n):
+        reg.publish(
+            f"gsh://site:8000/svc-{i}",
+            {"type": "steering" if i % 2 else "viz-steering",
+             "application": f"app-{i % 5}"},
+        )
+
+
+def test_find_matches_single_registry_semantics():
+    fed = FederatedRegistry(shards=4)
+    ref = RegistryService()
+    _populate(fed)
+    _populate(ref)
+    for query in (None, {}, {"application": "app-3"},
+                  {"type": "steering", "application": "app-1"},
+                  {"application": "nope"}):
+        assert fed.find(query) == ref.find(query)
+
+
+def test_entries_spread_over_shards_and_route_stably():
+    fed = FederatedRegistry(shards=4)
+    _populate(fed, n=200)
+    sizes = fed.shard_sizes()
+    assert sum(sizes) == fed.entry_count == 200
+    assert min(sizes) > 0  # crc32 spreads a numbered namespace
+    # lookup/unpublish route to the same shard publish chose.
+    assert fed.lookup("gsh://site:8000/svc-17")["application"] == "app-2"
+    fed.unpublish("gsh://site:8000/svc-17")
+    with pytest.raises(OgsaError):
+        fed.lookup("gsh://site:8000/svc-17")
+    assert fed.entry_count == 199
+
+
+def test_shared_shards_federate_across_frontends():
+    shards = make_shards(3)
+    site_a = FederatedRegistry("registry", shards=shards)
+    site_b = FederatedRegistry("registry", shards=shards)
+    site_a.publish("gsh://a:1/x", {"application": "LB3D"})
+    # Published via A, visible via B (and vice versa).
+    assert _handles(site_b.find({"application": "LB3D"})) == ["gsh://a:1/x"]
+    site_b.publish("gsh://b:1/y", {"application": "LB3D"})
+    assert len(site_a.find({"application": "LB3D"})) == 2
+    site_b.unpublish("gsh://a:1/x")
+    assert _handles(site_a.find({})) == ["gsh://b:1/y"]
+
+
+def test_service_data_entry_count_fresh_across_frontends():
+    shards = make_shards(2)
+    site_a = FederatedRegistry("registry", shards=shards)
+    site_b = FederatedRegistry("registry", shards=shards)
+    site_a.publish("gsh://a:1/x", {"application": "LB3D"})
+    site_a.publish("gsh://a:1/y", {"application": "LB3D"})
+    # B never published, but its SDE must reflect the shared shards.
+    assert site_b.get_service_data("entry_count") == 2
+    assert site_b.get_service_data()["entry_count"] == 2
+
+
+def test_validation_and_empty_shardset():
+    fed = FederatedRegistry(shards=2)
+    with pytest.raises(OgsaError):
+        fed.publish(123, {})
+    with pytest.raises(OgsaError):
+        fed.publish("not-a-gsh", {})
+    with pytest.raises(OgsaError):
+        fed.unpublish("gsh://a:1/never")
+    with pytest.raises(OgsaError):
+        FederatedRegistry(shards=0)
+    with pytest.raises(OgsaError):
+        FederatedRegistry(shards=[])
+
+
+def test_portype_matches_registry_service():
+    # Clients introspecting a deployed front-end see the registry portType.
+    from repro.des import Environment
+    from repro.net import Network
+    from repro.ogsa import OgsiLiteContainer
+
+    env = Environment()
+    net = Network(env)
+    net.add_host("svc")
+    container = OgsiLiteContainer(net.host("svc"), 8000)
+    ref = container.deploy(FederatedRegistry(shards=2))
+    assert {"publish", "unpublish", "find", "lookup"} <= set(ref.interface)

@@ -1,0 +1,118 @@
+"""Regression tests: the indexed registry matches the naive linear scan."""
+
+import random
+
+import pytest
+
+from repro.errors import OgsaError
+from repro.ogsa import RegistryService
+
+APPS = ["LB3D", "PEPC", "building", "crowd"]
+SITES = ["ucl", "man", "anl", "hlrs", "juelich"]
+TYPES = ["steering", "viz-steering"]
+
+
+def _populate(reg, n, seed=0):
+    rng = random.Random(seed)
+    for i in range(n):
+        reg.publish(
+            f"gsh://site:8000/svc-{i}",
+            {
+                "type": rng.choice(TYPES),
+                "application": rng.choice(APPS),
+                "site": rng.choice(SITES),
+                "job": f"job-{i % 17}",
+            },
+        )
+
+
+QUERIES = [
+    {},
+    {"application": "LB3D"},
+    {"application": "PEPC", "type": "steering"},
+    {"site": "hlrs", "type": "viz-steering", "application": "crowd"},
+    {"application": "no-such-app"},
+    {"unknown-key": 1},
+    {"job": "job-3"},
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_indexed_find_matches_naive(query):
+    reg = RegistryService()
+    _populate(reg, 300, seed=9)
+    assert reg.find(query) == reg._find_naive(query)
+
+
+def test_index_survives_republish_and_unpublish():
+    reg = RegistryService()
+    _populate(reg, 50, seed=2)
+    # Refresh with different metadata: old index entries must not linger.
+    reg.publish("gsh://site:8000/svc-7", {"application": "LB3D", "type": "steering"})
+    reg.publish("gsh://site:8000/svc-7", {"application": "PEPC", "type": "steering"})
+    hits = reg.find({"application": "LB3D", "type": "steering"})
+    assert all(e["handle"] != "gsh://site:8000/svc-7" for e in hits)
+    found = reg.find({"application": "PEPC", "type": "steering"})
+    assert any(e["handle"] == "gsh://site:8000/svc-7" for e in found)
+    for q in QUERIES:
+        assert reg.find(q) == reg._find_naive(q)
+    # Unpublish a batch and re-compare.
+    for i in range(0, 50, 3):
+        reg.unpublish(f"gsh://site:8000/svc-{i}")
+    for q in QUERIES:
+        assert reg.find(q) == reg._find_naive(q)
+    assert reg.service_data["entry_count"] == len(reg._entries)
+
+
+def test_unhashable_metadata_values_still_found():
+    reg = RegistryService()
+    reg.publish(
+        "gsh://a:1/s1",
+        {"application": "PEPC", "view": [0.0, -3.0, 0.0]},
+    )
+    reg.publish("gsh://a:1/s2", {"application": "PEPC"})
+    # Query on the hashable key finds both (unindexed handle folded in).
+    assert [e["handle"] for e in reg.find({"application": "PEPC"})] == [
+        "gsh://a:1/s1",
+        "gsh://a:1/s2",
+    ]
+    # Query on the unhashable value falls back to the scan path.
+    assert [e["handle"] for e in reg.find({"view": [0.0, -3.0, 0.0]})] == [
+        "gsh://a:1/s1"
+    ]
+    assert reg.find({"view": [9.9]}) == []
+    for q in ({}, {"application": "PEPC"}, {"view": [0.0, -3.0, 0.0]}):
+        assert reg.find(q) == reg._find_naive(q)
+    reg.unpublish("gsh://a:1/s1")
+    assert reg.find({"application": "PEPC"}) == reg._find_naive(
+        {"application": "PEPC"}
+    )
+
+
+def test_numeric_equivalence_matches_naive():
+    # 1, 1.0 and True are equal and hash alike: both paths must agree.
+    reg = RegistryService()
+    reg.publish("gsh://a:1/int", {"flag": 1})
+    reg.publish("gsh://a:1/float", {"flag": 1.0})
+    reg.publish("gsh://a:1/bool", {"flag": True})
+    for probe in (1, 1.0, True):
+        assert reg.find({"flag": probe}) == reg._find_naive({"flag": probe})
+        assert len(reg.find({"flag": probe})) == 3
+
+
+def test_nan_values_match_naive():
+    nan = float("nan")
+    reg = RegistryService()
+    reg.publish("gsh://a:1/nan", {"x": nan})
+    # Even probing with the *same* nan object must behave like `==`.
+    assert reg.find({"x": nan}) == reg._find_naive({"x": nan}) == []
+
+
+def test_publish_validation_unchanged():
+    reg = RegistryService()
+    with pytest.raises(OgsaError):
+        reg.publish("not-a-gsh", {})
+    with pytest.raises(OgsaError):
+        reg.publish("gsh://a:1/x", metadata=["not", "a", "dict"])
+    with pytest.raises(OgsaError):
+        reg.unpublish("gsh://a:1/never")

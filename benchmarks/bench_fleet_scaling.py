@@ -15,7 +15,7 @@ scan at fleet-scale handle counts (the `find` every admission issues).
 import os
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_json
 from repro.fleet import FleetDriver, fleet_of
 from repro.ogsa import RegistryService
 
@@ -48,6 +48,10 @@ def test_fleet_scaling(benchmark, reporter):
         ["sessions", "completed", "steer ops", "p50 (ms)", "p90 (ms)",
          "p99 (ms)", "admit p90 (ms)", "makespan (s)", "wall (s)"],
         rows,
+    )
+    write_json(
+        "BENCH_fleet_scaling.json",
+        {str(n): rep.to_dict() for n, rep in sorted(results.items())},
     )
     for n, rep in results.items():
         # Every admitted session must complete with zero steering timeouts.

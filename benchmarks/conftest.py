@@ -7,11 +7,21 @@ pytest's output capture.  EXPERIMENTS.md is written from those tables.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+def write_json(name: str, payload) -> pathlib.Path:
+    """Persist machine-readable bench results (BENCH_*.json) next to the
+    benches; these are committed so the perf trajectory is diffable
+    across PRs."""
+    path = pathlib.Path(__file__).parent / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session", autouse=True)

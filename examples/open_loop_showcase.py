@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Open-loop traffic on the steering grid: arrivals, admission, elasticity.
+
+Three acts on the same 2-site fabric:
+
+1. Steady Poisson traffic under capacity — every session admitted at
+   once, zero rejects.
+2. A flash crowd against *fixed* capacity — the bounded admission queue
+   sheds the excess explicitly instead of melting down.
+3. The same flash crowd with the reactive autoscaler — extra service
+   sites (and registry shards) come up while the rush lasts and drain
+   afterwards, so the crowd is served instead of shed.
+
+Run:  python examples/open_loop_showcase.py
+"""
+
+import time
+
+from repro.fleet import FleetDriver
+from repro.load import (
+    AdmissionController,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    ReactiveAutoscaler,
+    scorecard,
+)
+
+FLASH = dict(base_rate=0.3, burst_rate=8.0, burst_at=6.0,
+             burst_duration=4.0, horizon=18.0, seed=11,
+             duration=3.0, cadence=0.5)
+
+
+def act(title, arrivals, autoscale=False):
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    t0 = time.perf_counter()
+    driver = FleetDriver(n_sites=2, queue_slots=3)
+    ctl = AdmissionController(driver, queue_limit=10)
+    scaler = None
+    if autoscale:
+        scaler = ReactiveAutoscaler(ctl, max_sites=6, high_depth=3,
+                                    interval=1.0, cooldown=0.0)
+    report = ctl.run(arrivals)
+    report.wall_seconds = time.perf_counter() - t0
+    print(report.render())
+    print(scorecard(ctl, horizon=arrivals.horizon).render())
+    if scaler is not None:
+        for at, what, idx in scaler.events:
+            print(f"  [{at:6.2f}s] autoscaler: {what} site {idx}")
+        print(f"  fabric ended at {len(driver.sites)} sites, "
+              f"{len(driver.shards)} registry shards")
+    print()
+    return report
+
+
+def main() -> None:
+    steady = act(
+        "1. Steady traffic under capacity (Poisson 0.6/s, ~1.35/s capacity)",
+        PoissonArrivals(rate=0.6, horizon=18.0, seed=11,
+                        duration=3.0, cadence=0.5),
+    )
+    assert steady.queue.rejected == 0
+
+    fixed = act(
+        "2. Flash crowd vs fixed capacity: bounded queue sheds the excess",
+        FlashCrowdArrivals(**FLASH),
+    )
+    assert fixed.queue.rejected > 0
+
+    elastic = act(
+        "3. The same flash crowd with the reactive autoscaler",
+        FlashCrowdArrivals(**FLASH),
+        autoscale=True,
+    )
+    assert elastic.queue.scale_ups > 0
+    assert elastic.queue.admitted > fixed.queue.admitted
+    assert elastic.queue.wait_p99 <= fixed.queue.wait_p99
+
+    print("open-loop showcase complete: "
+          f"shed {fixed.queue.rejected} sessions at fixed capacity, "
+          f"served all but {elastic.queue.rejected} with elasticity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,9 @@ Subpackage map (see DESIGN.md for the full inventory):
 * :mod:`repro.fleet` -- the session-fleet engine: declarative scenario
   specs, a driver running hundreds of concurrent sessions, sharded
   registry federation, vbroker pooling, mergeable telemetry.
+* :mod:`repro.load` -- open-loop traffic on top of the fleet: seeded
+  arrival processes, bounded-queue admission control with per-class
+  SLOs, placement policies, reactive autoscaling of sites and shards.
 """
 
 __version__ = "1.0.0"
@@ -46,6 +49,7 @@ __all__ = [
     "parallel",
     "workloads",
     "fleet",
+    "load",
     "util",
     "errors",
 ]

@@ -85,6 +85,11 @@ class SteeringError(ReproError):
     """Steering-core failure (unknown parameter, bad command, role abuse)."""
 
 
+class LoadError(ReproError):
+    """Open-loop load layer failure (capacity ledger misuse, bad arrival
+    configuration, admission-controller invariant violation)."""
+
+
 class CoviseError(ReproError):
     """COVISE substrate failure (bad module wiring, missing data object)."""
 

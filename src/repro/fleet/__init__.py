@@ -32,8 +32,13 @@ from repro.fleet.spec import (
 )
 from repro.fleet.registry_fed import FederatedRegistry, make_shards
 from repro.fleet.brokerpool import BrokerPool
-from repro.fleet.telemetry import FleetTelemetry, LatencyProbe, SessionTelemetry
-from repro.fleet.report import FleetReport, SessionRow
+from repro.fleet.telemetry import (
+    FleetTelemetry,
+    LatencyProbe,
+    QueueTelemetry,
+    SessionTelemetry,
+)
+from repro.fleet.report import FleetReport, QueueSlice, SessionRow
 from repro.fleet.driver import FleetDriver, FleetSite
 
 __all__ = [
@@ -48,8 +53,10 @@ __all__ = [
     "BrokerPool",
     "FleetTelemetry",
     "LatencyProbe",
+    "QueueTelemetry",
     "SessionTelemetry",
     "FleetReport",
+    "QueueSlice",
     "SessionRow",
     "FleetDriver",
     "FleetSite",

@@ -57,10 +57,26 @@ class BrokerPool:
         return (assigned, len(broker.participants()))
 
     def place(self, session: str) -> VBroker:
-        """Assign a session to the least-loaded broker (stable on repeat)."""
+        """Assign a session to the least-loaded *live* broker.
+
+        Stable on repeat for an already-placed session.  Dead brokers
+        (listener closed — host crashed or drained) are skipped; live
+        candidates are pruned first (:meth:`VBroker.prune_dead`) so the
+        load key counts only live participants.  When every broker in
+        the pool is dead there is nowhere to place the session and a
+        :class:`VisitError` says so explicitly.
+        """
         if session in self._placement:
             return self.brokers[self._placement[session]]
-        idx = min(range(len(self.brokers)), key=lambda i: (self.load(i), i))
+        live = [i for i, b in enumerate(self.brokers) if b.alive]
+        if not live:
+            raise VisitError(
+                f"cannot place session {session!r}: all "
+                f"{len(self.brokers)} vbrokers in the pool are dead"
+            )
+        for i in live:
+            self.brokers[i].prune_dead()
+        idx = min(live, key=lambda i: (self.load(i), i))
         self._placement[session] = idx
         return self.brokers[idx]
 

@@ -17,22 +17,33 @@ every site.  Registry traffic goes through per-site
 :class:`~repro.fleet.registry_fed.FederatedRegistry` front-ends sharing
 one shard set, so a session admitted at site 2 is discoverable from a
 client at site 0.
+
+Two admission modes share the same fabric:
+
+* **closed batch** — construct with a spec list and :meth:`FleetDriver.run`
+  launches every session at its ``admission_offset`` (PR 1 behaviour);
+* **open loop** — construct with no specs and feed sessions one at a time
+  through :meth:`FleetDriver.admit`; :mod:`repro.load` drives this mode
+  from stochastic arrival streams through an admission controller, and
+  may grow the fabric mid-run via :meth:`FleetDriver.add_site` /
+  :meth:`FleetDriver.add_registry_shard`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.des import Environment
 from repro.errors import ReproError
-from repro.fleet.registry_fed import FederatedRegistry, make_shards
+from repro.fleet.registry_fed import FederatedRegistry, make_shards, shard_index
 from repro.fleet.report import FleetReport
 from repro.fleet.spec import ScenarioSpec
 from repro.fleet.telemetry import FleetTelemetry
 from repro.net import Firewall
 from repro.ogsa import HandleResolver, OgsaSteeringClient, OgsiLiteContainer
+from repro.ogsa.registry import RegistryService
 from repro.steering.orchestrator import (
     RealityGridOrchestrator,
     make_outbound_app_factory,
@@ -85,19 +96,21 @@ class FleetDriver:
 
     def __init__(
         self,
-        specs: list[ScenarioSpec],
+        specs: Optional[list[ScenarioSpec]] = None,
         n_sites: int = 4,
         env: Optional[Environment] = None,
         registry_shards: int = 4,
         observer_ops: int = 2,
         reservoir: int = 128,
+        queue_slots: Optional[int] = None,
     ) -> None:
-        if not specs:
+        if specs is not None and not specs:
             raise ReproError("a fleet needs at least one scenario spec")
+        specs = list(specs) if specs else []
         names = [s.name for s in specs]
         if len(set(names)) != len(names):
             raise ReproError("scenario spec names must be unique")
-        self.specs = list(specs)
+        self.specs = specs
         self.observer_ops = observer_ops
         self.telemetry = FleetTelemetry(reservoir=reservoir)
         self.resolver = HandleResolver()
@@ -110,13 +123,20 @@ class FleetDriver:
         self.sites: list[FleetSite] = []
         #: (site index, profile name) -> participant host carrying it
         self._client_for: dict[tuple[int, str], str] = {}
+        #: every spec ever registered (batch placement or dynamic admit)
+        self._specs_by_name: dict[str, ScenarioSpec] = {}
+        #: monotone counter: unique control/sample port pair per session
+        self._session_seq = 0
+        self._placements: list[tuple[ScenarioSpec, FleetSite, str, int]] = []
 
-        sessions_per_site = -(-len(specs) // n_sites)  # ceil
+        if queue_slots is None:
+            sessions_per_site = -(-len(specs) // n_sites) if specs else 8
+            queue_slots = max(2, sessions_per_site)
+        self.queue_slots = queue_slots
         for i in range(n_sites):
-            self.sites.append(
-                self._build_site(i, queue_slots=max(2, sessions_per_site))
-            )
-        self._place_and_register()
+            self.sites.append(self._build_site(i, queue_slots=queue_slots))
+        if self.specs:
+            self._place_and_register()
 
     # -- fabric ------------------------------------------------------------
 
@@ -166,26 +186,117 @@ class FleetDriver:
             self._client_for[key] = name
         return name
 
+    def _register_session(
+        self, spec: ScenarioSpec, site: FleetSite
+    ) -> tuple[str, int]:
+        """Register one session's application on a site; returns the
+        participant host name and the session's control port."""
+        if spec.name in self._specs_by_name:
+            raise ReproError(
+                f"session {spec.name!r} already admitted to this fleet"
+            )
+        self._specs_by_name[spec.name] = spec
+        client = self._client_host(site, spec)
+        control_port = SESSION_PORT_BASE + 2 * self._session_seq
+        self._session_seq += 1
+        factory = make_outbound_app_factory(
+            spec.make_sim,
+            service_host_name=site.svc_name,
+            control_port=control_port,
+            sample_port=control_port + 1,
+            compute_time=spec.compute_time,
+            sample_interval=spec.sample_interval,
+            max_steps=spec.steps,
+        )
+        site.tsi.register_application(spec.name, factory)
+        site.njs.register_application(spec.name, spec.name)
+        return client, control_port
+
     def _place_and_register(self) -> None:
         """Round-robin sessions over sites; register one application per
         session (each spec may carry different sim arguments)."""
-        self._placements: list[tuple[ScenarioSpec, FleetSite, str, int]] = []
         for idx, spec in enumerate(self.specs):
             site = self.sites[idx % len(self.sites)]
-            client = self._client_host(site, spec)
-            control_port = SESSION_PORT_BASE + 2 * idx
-            factory = make_outbound_app_factory(
-                spec.make_sim,
-                service_host_name=site.svc_name,
-                control_port=control_port,
-                sample_port=control_port + 1,
-                compute_time=spec.compute_time,
-                sample_interval=spec.sample_interval,
-                max_steps=spec.steps,
-            )
-            site.tsi.register_application(spec.name, factory)
-            site.njs.register_application(spec.name, spec.name)
+            client, control_port = self._register_session(spec, site)
             self._placements.append((spec, site, client, control_port))
+
+    # -- open-loop admission -----------------------------------------------
+
+    def admit(
+        self,
+        spec: ScenarioSpec,
+        site: Optional[Union[int, FleetSite]] = None,
+        at: Optional[float] = None,
+    ):
+        """Admit one session dynamically; returns its DES process.
+
+        This is the open-loop entry point: no up-front spec list, the
+        session is registered and launched *now* (or at virtual time
+        ``at``) on the given site — an index, a :class:`FleetSite`, or
+        ``None`` for round-robin.  The returned
+        :class:`~repro.des.core.Process` triggers when the session ends,
+        so an admission controller can hold capacity until completion.
+        """
+        if site is None:
+            site = self.sites[self._session_seq % len(self.sites)]
+        elif isinstance(site, int):
+            site = self.sites[site]
+        client, control_port = self._register_session(spec, site)
+        if at is None or at <= self.env.now:
+            return self.env.process(
+                self._session(spec, site, client, control_port)
+            )
+        return self.env.process(
+            self._admit_at(at, spec, site, client, control_port)
+        )
+
+    def _admit_at(self, at: float, spec: ScenarioSpec, site: FleetSite,
+                  client: str, control_port: int):
+        yield self.env.timeout(at - self.env.now)
+        yield from self._session(spec, site, client, control_port)
+
+    def add_site(self, queue_slots: Optional[int] = None) -> FleetSite:
+        """Grow the fabric by one service site (elastic capacity).
+
+        The new site shares the existing registry shard set, so sessions
+        already published elsewhere are immediately findable through its
+        front-end.  Used by :class:`repro.load.autoscale.ReactiveAutoscaler`.
+        """
+        site = self._build_site(
+            len(self.sites), queue_slots=queue_slots or self.queue_slots
+        )
+        self.sites.append(site)
+        return site
+
+    def add_registry_shard(self) -> RegistryService:
+        """Grow the shared registry shard set by one and rebalance.
+
+        Every front-end routes by ``crc32(handle) % len(shards)``, so the
+        new shard must be visible to all of them at once and entries whose
+        route changed must move — otherwise ``lookup`` would miss them.
+        Scatter-gather ``find`` is unaffected during the move because the
+        entry is always in exactly one shard.
+        """
+        shard = RegistryService(f"registry-shard-{len(self.shards)}")
+        seen: set[int] = {id(self.shards)}
+        self.shards.append(shard)
+        for site in self.sites:
+            lst = site.registry.shards
+            if id(lst) not in seen:
+                seen.add(id(lst))
+                lst.append(shard)
+        n = len(self.shards)
+        moves = []
+        for idx, src in enumerate(self.shards[:-1]):
+            for handle in list(src._entries):
+                new_idx = shard_index(handle, n)
+                if new_idx != idx:
+                    moves.append((src, self.shards[new_idx], handle))
+        for src, dst, handle in moves:
+            meta = src._entries[handle]
+            src.unpublish(handle)
+            dst.publish(handle, meta)
+        return shard
 
     # -- session processes -------------------------------------------------
 
@@ -290,8 +401,13 @@ class FleetDriver:
     def deadline(self, grace: float = 45.0) -> float:
         """When every session should long be done: last admission offset
         plus the longest duration plus launch/teardown slack."""
-        last = max(s.admission_offset for s in self.specs)
-        longest = max(s.duration + s.cadence * 2 for s in self.specs)
+        specs = self.specs or list(self._specs_by_name.values())
+        if not specs:
+            raise ReproError(
+                "deadline() needs at least one spec (batch or admitted)"
+            )
+        last = max(s.admission_offset for s in specs)
+        longest = max(s.duration + s.cadence * 2 for s in specs)
         return last + longest + grace
 
     def run(self, until: Optional[float] = None,
@@ -313,5 +429,5 @@ class FleetDriver:
             makespan = self.env.now
         return FleetReport.from_telemetry(
             self.telemetry, makespan=makespan, wall_seconds=wall_seconds,
-            specs={s.name: s for s in self.specs},
+            specs=dict(self._specs_by_name),
         )

@@ -26,6 +26,16 @@ from repro.ogsa.registry import RegistryService
 from repro.ogsa.service import GridService, operation
 
 
+def shard_index(handle: str, n_shards: int) -> int:
+    """Stable handle -> shard routing (crc32, not the seeded ``hash``).
+
+    The single source of truth: every front-end's :meth:`shard_for` and
+    the driver's rebalance-on-growth must agree bit-for-bit, or moved
+    entries become unreachable to ``lookup``.
+    """
+    return zlib.crc32(handle.encode("utf-8")) % n_shards
+
+
 def make_shards(count: int, prefix: str = "registry-shard") -> list[RegistryService]:
     """A fresh shard set, shareable between several front-ends."""
     if count < 1:
@@ -53,9 +63,8 @@ class FederatedRegistry(GridService):
     # -- routing -----------------------------------------------------------
 
     def shard_for(self, handle: str) -> RegistryService:
-        """Stable handle -> shard mapping (crc32, not the seeded ``hash``)."""
-        idx = zlib.crc32(handle.encode("utf-8")) % len(self.shards)
-        return self.shards[idx]
+        """Stable handle -> shard mapping via :func:`shard_index`."""
+        return self.shards[shard_index(handle, len(self.shards))]
 
     @property
     def entry_count(self) -> int:
@@ -66,9 +75,11 @@ class FederatedRegistry(GridService):
 
     @operation
     def get_service_data(self, name: str = ""):
-        # Another front-end may have written the shared shards since this
-        # one last did; refresh the cached count before answering.
+        # Another front-end may have written the shared shards (or the
+        # driver may have grown the shard set) since this one last did;
+        # refresh the cached counts before answering.
         self._note_size()
+        self.service_data["shard_count"] = len(self.shards)
         return super().get_service_data(name)
 
     # -- the RegistryService portType -------------------------------------

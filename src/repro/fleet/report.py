@@ -12,11 +12,119 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.fleet.telemetry import FleetTelemetry
+from repro.fleet.telemetry import FleetTelemetry, QueueTelemetry
 
 
 def _ms(x: float) -> str:
     return "-" if math.isnan(x) else f"{x * 1e3:.1f}"
+
+
+def _s(x: float) -> str:
+    return "-" if math.isnan(x) else f"{x:.2f}"
+
+
+@dataclass
+class QueueSlice:
+    """Frozen open-loop queueing numbers (admission waits in virtual
+    seconds — queueing delay dominates network latency by orders of
+    magnitude, so these are not millisecond quantities)."""
+
+    offered: int
+    admitted: int
+    rejected: int
+    abandoned: int
+    slo_met: int
+    wait_p50: float
+    wait_p90: float
+    wait_p99: float
+    wait_mean: float
+    depth_mean: float
+    depth_max: int
+    scale_ups: int
+    scale_downs: int
+    by_class: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_queue(cls, q: QueueTelemetry, now: float) -> "QueueSlice":
+        q.finalize(now)
+        by_class = {}
+        for name, c in sorted(q.by_class.items()):
+            by_class[name] = {
+                "offered": c["offered"],
+                "admitted": c["admitted"],
+                "rejected": c["rejected"],
+                "abandoned": c["abandoned"],
+                "slo_met": c["slo_met"],
+                "wait_p90_s": c["wait"].percentile(90),
+            }
+        return cls(
+            offered=q.offered,
+            admitted=q.admitted,
+            rejected=q.rejected,
+            abandoned=q.abandoned,
+            slo_met=q.slo_met,
+            wait_p50=q.wait.percentile(50),
+            wait_p90=q.wait.percentile(90),
+            wait_p99=q.wait.percentile(99),
+            wait_mean=q.wait.mean,
+            depth_mean=q.depth_mean,
+            depth_max=q.depth_max,
+            scale_ups=q.scale_ups,
+            scale_downs=q.scale_downs,
+            by_class=by_class,
+        )
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def abandonment_rate(self) -> float:
+        return self.abandoned / self.offered if self.offered else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.slo_met / self.admitted if self.admitted else math.nan
+
+    def to_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "abandoned": self.abandoned,
+            "slo_met": self.slo_met,
+            "rejection_rate": self.rejection_rate,
+            "abandonment_rate": self.abandonment_rate,
+            "wait_p50_s": self.wait_p50,
+            "wait_p90_s": self.wait_p90,
+            "wait_p99_s": self.wait_p99,
+            "wait_mean_s": self.wait_mean,
+            "depth_mean": self.depth_mean,
+            "depth_max": self.depth_max,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "by_class": self.by_class,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"admission: {self.admitted}/{self.offered} admitted, "
+            f"{self.rejected} rejected ({self.rejection_rate:.0%}), "
+            f"{self.abandoned} abandoned; queue depth "
+            f"mean={self.depth_mean:.1f} max={self.depth_max}",
+            f"admission wait s: p50={_s(self.wait_p50)} "
+            f"p90={_s(self.wait_p90)} p99={_s(self.wait_p99)} "
+            f"mean={_s(self.wait_mean)}   "
+            f"slo attainment={self.slo_attainment:.0%}"
+            if self.admitted
+            else "admission wait s: (nothing admitted)",
+        ]
+        if self.scale_ups or self.scale_downs:
+            lines.append(
+                f"autoscale: +{self.scale_ups} sites grown, "
+                f"-{self.scale_downs} drained"
+            )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -54,6 +162,8 @@ class FleetReport:
     makespan: float
     wall_seconds: Optional[float] = None
     per_session: list[SessionRow] = field(default_factory=list)
+    #: open-loop queueing slice; None for closed-batch runs
+    queue: Optional[QueueSlice] = None
 
     @classmethod
     def from_telemetry(
@@ -104,6 +214,11 @@ class FleetReport:
             makespan=makespan,
             wall_seconds=wall_seconds,
             per_session=rows,
+            queue=(
+                QueueSlice.from_queue(telemetry.queue, now=makespan)
+                if telemetry.queue is not None
+                else None
+            ),
         )
 
     # -- views -------------------------------------------------------------
@@ -125,6 +240,7 @@ class FleetReport:
             "admit_p90_ms": self.admit_p90 * 1e3,
             "makespan_s": self.makespan,
             "wall_seconds": self.wall_seconds,
+            **({"load": self.queue.to_dict()} if self.queue else {}),
         }
 
     def summary_row(self) -> list:
@@ -157,6 +273,8 @@ class FleetReport:
             f"admission ms: p50={_ms(self.admit_p50)} p90={_ms(self.admit_p90)}"
             f"   registry find ms: p50={_ms(self.find_p50)}",
         ]
+        if self.queue is not None:
+            lines.append(self.queue.render())
         if per_session:
             lines.append(
                 f"{'session':<18} {'sim':<9} {'profile':<17} {'ok':<3} "

@@ -143,6 +143,37 @@ class ScenarioSpec:
 # -- generators -------------------------------------------------------------
 
 
+def rederive_steps(overrides: dict) -> dict:
+    """A prototype's derived step budget must not survive an override of
+    the inputs it was computed from; ``steps=None`` re-derives it in
+    ``__post_init__``.  Mutates and returns ``overrides``."""
+    if "steps" not in overrides and (
+        "duration" in overrides or "compute_time" in overrides
+    ):
+        overrides["steps"] = None
+    return overrides
+
+
+def mint_spec(
+    proto: ScenarioSpec,
+    i: int,
+    prefix: str,
+    admission_offset: float = 0.0,
+    digits: int = 4,
+    **overrides,
+) -> ScenarioSpec:
+    """The i-th session stamped from a prototype: unique name (the
+    driver registers one application per session), per-session seed.
+    Shared by :func:`fleet_of` and :mod:`repro.load.arrivals`."""
+    return replace(
+        proto,
+        name=f"{prefix}{i:0{digits}d}-{proto.sim}",
+        admission_offset=admission_offset,
+        seed=i,
+        **overrides,
+    )
+
+
 def paper_suite(**overrides) -> list[ScenarioSpec]:
     """The paper's four demonstrations as one spec each, on the link class
     each actually used: LB3D over SuperJanet (section 2), PEPC across the
@@ -198,22 +229,9 @@ def fleet_of(
     if n < 1:
         raise SteeringError("a fleet needs at least one session")
     base = suite or paper_suite()
-    # The prototype's derived step budget must not survive an override of
-    # the inputs it was computed from; None re-derives it in __post_init__.
-    if "steps" not in overrides and (
-        "duration" in overrides or "compute_time" in overrides
-    ):
-        overrides["steps"] = None
-    out = []
-    for i in range(n):
-        proto = base[i % len(base)]
-        out.append(
-            replace(
-                proto,
-                name=f"{prefix}{i:04d}-{proto.sim}",
-                admission_offset=i * stagger,
-                seed=i,
-                **overrides,
-            )
-        )
-    return out
+    rederive_steps(overrides)
+    return [
+        mint_spec(base[i % len(base)], i, prefix,
+                  admission_offset=i * stagger, **overrides)
+        for i in range(n)
+    ]

@@ -96,13 +96,114 @@ class SessionTelemetry:
         return self.finished_at - self.admitted_at
 
 
+class QueueTelemetry:
+    """Open-loop queueing ledger: offered/admitted/rejected/abandoned
+    counters, admission-wait latencies, a time-weighted queue-depth
+    integral, and elastic-capacity scale events.
+
+    Per-class breakdowns are keyed by the SLO-class *name* (plain
+    strings) so this layer needs no knowledge of
+    :class:`repro.load.slo.SloClass`.
+    """
+
+    def __init__(self, reservoir: int = 256) -> None:
+        self.wait = LatencyProbe(reservoir, seed=20_011)
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.abandoned = 0
+        #: admissions whose wait met the class admission-wait SLO
+        self.slo_met = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.by_class: dict[str, dict] = {}
+        self.depth_max = 0
+        self._depth_area = 0.0
+        self._depth_last_t: Optional[float] = None
+        self._depth_last = 0
+
+    def _cls(self, name: str) -> dict:
+        c = self.by_class.get(name)
+        if c is None:
+            c = {
+                "offered": 0, "admitted": 0, "rejected": 0, "abandoned": 0,
+                "slo_met": 0,
+                "wait": LatencyProbe(64, seed=20_011 + len(self.by_class)),
+            }
+            self.by_class[name] = c
+        return c
+
+    # -- recording ---------------------------------------------------------
+
+    def record_offer(self, cls: str) -> None:
+        self.offered += 1
+        self._cls(cls)["offered"] += 1
+
+    def record_admit(self, cls: str, wait: float, met_slo: bool) -> None:
+        self.admitted += 1
+        self.wait.add(wait)
+        c = self._cls(cls)
+        c["admitted"] += 1
+        c["wait"].add(wait)
+        if met_slo:
+            self.slo_met += 1
+            c["slo_met"] += 1
+
+    def record_reject(self, cls: str) -> None:
+        self.rejected += 1
+        self._cls(cls)["rejected"] += 1
+
+    def record_abandon(self, cls: str) -> None:
+        # The abandonment wait is always the class patience, so only the
+        # counters move; wait percentiles cover admitted sessions.
+        self.abandoned += 1
+        self._cls(cls)["abandoned"] += 1
+
+    def record_scale(self, delta: int) -> None:
+        if delta > 0:
+            self.scale_ups += 1
+        else:
+            self.scale_downs += 1
+
+    def record_depth(self, now: float, depth: int) -> None:
+        """Integrate queue depth over virtual time (call on every change)."""
+        if self._depth_last_t is not None and now > self._depth_last_t:
+            self._depth_area += self._depth_last * (now - self._depth_last_t)
+        self._depth_last_t = now
+        self._depth_last = depth
+        if depth > self.depth_max:
+            self.depth_max = depth
+
+    def finalize(self, now: float) -> None:
+        """Close the depth integral at the end of the run.  Idempotent,
+        and a ``now`` before the last sample (a makespan short of the
+        final queue event) leaves the integral untouched."""
+        if self._depth_last_t is None or now > self._depth_last_t:
+            self.record_depth(now, self._depth_last)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def depth_mean(self) -> float:
+        if self._depth_last_t is None or self._depth_last_t <= 0:
+            return 0.0
+        return self._depth_area / self._depth_last_t
+
+
 class FleetTelemetry:
     """The fleet-wide ledger: one SessionTelemetry per session plus
-    merged aggregates computed on demand."""
+    merged aggregates computed on demand.  Open-loop runs additionally
+    attach a :class:`QueueTelemetry` via :meth:`ensure_queue`."""
 
     def __init__(self, reservoir: int = 128) -> None:
         self.reservoir = reservoir
         self.sessions: dict[str, SessionTelemetry] = {}
+        self.queue: Optional[QueueTelemetry] = None
+
+    def ensure_queue(self) -> QueueTelemetry:
+        if self.queue is None:
+            self.queue = QueueTelemetry()
+        return self.queue
 
     def session(self, name: str) -> SessionTelemetry:
         tel = self.sessions.get(name)

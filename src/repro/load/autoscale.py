@@ -1,0 +1,121 @@
+"""Reactive elastic capacity: grow and drain service sites on queue depth.
+
+The scaler polls the admission queue every ``interval`` virtual seconds.
+A deep queue means offered load exceeds service capacity, so it grows
+the fabric — reopening a previously drained site when one exists
+(cheap), otherwise building a fresh site through
+:meth:`~repro.fleet.driver.FleetDriver.add_site` (a full gateway + NJS +
+TSI + container + registry front-end stack) and, optionally, widening
+the shared registry shard set so find/publish pressure scales with the
+session count.  An empty queue with idle *scaler-built* sites drains the
+newest idle one; the base fabric the operator provisioned is never
+touched, so capacity always returns to its floor and never below.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import LoadError
+from repro.load.admission import AdmissionController
+from repro.load.capacity import capacity_of
+
+
+class ReactiveAutoscaler:
+    """Threshold scaler bound to one AdmissionController."""
+
+    def __init__(
+        self,
+        controller: AdmissionController,
+        max_sites: int = 8,
+        high_depth: int = 4,
+        low_depth: int = 0,
+        interval: float = 1.0,
+        cooldown: float = 2.0,
+        queue_slots: Optional[int] = None,
+        container_slots: int = 8,
+        vbroker_slots: int = 8,
+        grow_shards: bool = True,
+    ) -> None:
+        if max_sites < len(controller.driver.sites):
+            raise LoadError(
+                "max_sites is below the already-provisioned base fabric"
+            )
+        if high_depth < 1 or low_depth < 0 or low_depth >= high_depth:
+            raise LoadError("need 0 <= low_depth < high_depth, high >= 1")
+        if interval <= 0 or cooldown < 0:
+            raise LoadError("interval must be > 0 and cooldown >= 0")
+        self.controller = controller
+        self.driver = controller.driver
+        self.env = controller.env
+        self.max_sites = max_sites
+        self.high_depth = high_depth
+        self.low_depth = low_depth
+        self.interval = interval
+        self.cooldown = cooldown
+        self.queue_slots = queue_slots
+        self.container_slots = container_slots
+        self.vbroker_slots = vbroker_slots
+        self.grow_shards = grow_shards
+        #: site indices this scaler built (the only ones it may drain)
+        self.added_sites: list[int] = []
+        #: (virtual time, "grow" | "drain", site index) audit trail
+        self.events: list[tuple[float, str, int]] = []
+        self._last_action = -float("inf")
+        self.env.process(self._loop())
+
+    # -- the control loop --------------------------------------------------
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.interval)
+            self._step()
+
+    def _step(self) -> None:
+        if self.env.now - self._last_action < self.cooldown:
+            return
+        depth = self.controller.queue_depth
+        if depth >= self.high_depth and self.active_sites() < self.max_sites:
+            self._grow()
+        elif depth <= self.low_depth:
+            self._drain_one_idle()
+
+    def active_sites(self) -> int:
+        return len(self.controller.ledger.active_sites())
+
+    def _grow(self) -> None:
+        ledger = self.controller.ledger
+        drained = [i for i in self.added_sites if ledger.is_drained(i)]
+        if drained:
+            idx = drained[0]
+            ledger.reopen(idx)
+        else:
+            site = self.driver.add_site(queue_slots=self.queue_slots)
+            ledger.register_site(
+                site.index,
+                capacity_of(site, container_slots=self.container_slots,
+                            vbroker_slots=self.vbroker_slots),
+            )
+            if self.grow_shards:
+                self.driver.add_registry_shard()
+            self.added_sites.append(site.index)
+            idx = site.index
+        self._last_action = self.env.now
+        self.controller.telemetry.record_scale(+1)
+        self.events.append((self.env.now, "grow", idx))
+        # New capacity may unblock the head of the queue right now.
+        self.controller.kick()
+
+    def _drain_one_idle(self) -> None:
+        ledger = self.controller.ledger
+        idle = [
+            i for i in self.added_sites
+            if not ledger.is_drained(i) and ledger.inflight(i) == 0
+        ]
+        if not idle:
+            return
+        idx = idle[-1]  # newest first: shrink back toward the base fabric
+        ledger.drain(idx)
+        self._last_action = self.env.now
+        self.controller.telemetry.record_scale(-1)
+        self.events.append((self.env.now, "drain", idx))

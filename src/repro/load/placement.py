@@ -1,0 +1,104 @@
+"""Pluggable placement policies: which site gets the next session.
+
+A policy sees the spec at the head of the admission queue and the
+capacity ledger, and answers with a site index — or ``None`` when no
+acceptable site has room, which leaves the session queued.  Policies are
+deterministic given their seed, like everything else in the DES.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Optional
+
+from repro.errors import LoadError
+from repro.load.capacity import CapacityLedger
+
+
+class PlacementPolicy:
+    """Interface: ``choose(spec, ledger) -> site index or None``."""
+
+    def choose(self, spec, ledger: CapacityLedger) -> Optional[int]:
+        raise NotImplementedError
+
+
+class LeastLoaded(PlacementPolicy):
+    """The site with the most free slots; ties break to the lowest index.
+
+    The classic global-knowledge baseline: best balance, but in a real
+    federation it implies fresh load data from every site on every
+    decision.
+    """
+
+    def choose(self, spec, ledger: CapacityLedger) -> Optional[int]:
+        room = ledger.sites_with_room()
+        if not room:
+            return None
+        return max(room, key=lambda i: (ledger.free(i), -i))
+
+
+class LocalityAffine(PlacementPolicy):
+    """Prefer the session's *home* site (stable hash of its link
+    profile), falling back to least-loaded when home is full.
+
+    Sessions on the same link class land together — the pattern of users
+    steering from the same campus — at the cost of hotter homes.
+    """
+
+    def __init__(self) -> None:
+        self._fallback = LeastLoaded()
+
+    def home(self, spec, ledger: CapacityLedger) -> Optional[int]:
+        active = ledger.active_sites()
+        if not active:
+            return None
+        key = zlib.crc32(spec.profile.encode("utf-8"))
+        return active[key % len(active)]
+
+    def choose(self, spec, ledger: CapacityLedger) -> Optional[int]:
+        home = self.home(spec, ledger)
+        if home is not None and ledger.free(home) > 0:
+            return home
+        return self._fallback.choose(spec, ledger)
+
+
+class PowerOfTwoChoices(PlacementPolicy):
+    """Sample two random sites with room, take the less loaded.
+
+    The Mitzenmacher result: two random probes get exponentially better
+    balance than one, without least-loaded's global view.  Seeded RNG
+    keeps runs reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, spec, ledger: CapacityLedger) -> Optional[int]:
+        room = ledger.sites_with_room()
+        if not room:
+            return None
+        if len(room) == 1:
+            return room[0]
+        a, b = self._rng.sample(room, 2)
+        # Less inflight wins; ties break to the lower index for determinism.
+        return min((a, b), key=lambda i: (ledger.inflight(i), i))
+
+
+POLICIES = {
+    "least-loaded": LeastLoaded,
+    "locality": LocalityAffine,
+    "p2c": PowerOfTwoChoices,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> PlacementPolicy:
+    """Policy by name; ``p2c`` takes the seed, the others ignore it."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise LoadError(
+            f"unknown placement policy {name!r}; "
+            f"expected one of {sorted(POLICIES)}"
+        ) from None
+    return cls(seed) if cls is PowerOfTwoChoices else cls()

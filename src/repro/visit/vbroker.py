@@ -124,11 +124,35 @@ class VBroker:
     def participants(self) -> list[str]:
         return list(self._downstream)
 
+    @property
+    def alive(self) -> bool:
+        """True while the broker's listener is open on its host.
+
+        A stopped (or never-started) broker cannot take new sessions;
+        :class:`~repro.fleet.brokerpool.BrokerPool` skips it at placement
+        time.
+        """
+        return (
+            self._listener is not None
+            and self.host.listeners.get(self.port) is self._listener
+        )
+
     # -- processes ---------------------------------------------------------------
 
     def start(self) -> None:
         self._listener = self.host.listen(self.port)
         self.host.env.process(self._accept_loop())
+
+    def stop(self) -> None:
+        """Close the listener and drop every downstream connection.
+
+        The broker host has crashed or been drained; sessions placed on
+        it must be re-placed elsewhere.
+        """
+        if self._listener is not None:
+            self._listener.close()
+        for name in list(self._downstream):
+            self.remove_visualization(name)
 
     def _accept_loop(self):
         env = self.host.env

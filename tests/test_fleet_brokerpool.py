@@ -109,6 +109,69 @@ def test_failover_with_no_survivors_returns_none():
     assert done["master"] is None
 
 
+def test_place_skips_dead_brokers():
+    env, net, pool, servers = _world(n_broker_hosts=3)
+    # The least-loaded (first) broker's host crashes: listener closes.
+    pool.brokers[0].stop()
+    assert not pool.brokers[0].alive
+    assert pool.brokers[1].alive and pool.brokers[2].alive
+    b = pool.place("sess-live")
+    assert b is not pool.brokers[0]
+    # Sessions placed before a crash keep their (now useless) placement
+    # on repeat lookups rather than silently moving.
+    pool._placement["sess-old"] = 0
+    assert pool.place("sess-old") is pool.brokers[0]
+
+
+def test_place_prunes_dead_participants_before_load_compare():
+    env, net, pool, servers = _world(n_broker_hosts=2, n_viz=2)
+    done = {}
+
+    def scenario():
+        pool.place("a")  # -> broker 0 (1 session)
+        # Load broker 1 with two dead participants: raw participant
+        # count would make it look busier than broker 0.
+        yield from pool.brokers[1].add_visualization("viz-0", "viz-0", 6000)
+        yield from pool.brokers[1].add_visualization("viz-1", "viz-1", 6000)
+        pool.brokers[1]._downstream["viz-0"].conn.close()
+        pool.brokers[1]._downstream["viz-1"].conn.close()
+        done["b"] = pool.place("b")
+
+    env.process(scenario())
+    env.run(until=10.0)
+    # After pruning, broker 1 has 0 sessions + 0 live participants and
+    # wins over broker 0's 1 session.
+    assert done["b"] is pool.brokers[1]
+    assert pool.brokers[1].participants() == []
+
+
+def test_place_raises_when_every_broker_is_dead():
+    env, net, pool, servers = _world(n_broker_hosts=2)
+    for broker in pool.brokers:
+        broker.stop()
+    with pytest.raises(VisitError) as exc:
+        pool.place("nowhere-to-go")
+    assert "all 2 vbrokers" in str(exc.value)
+    # The failed placement left no stale bookkeeping behind.
+    assert "nowhere-to-go" not in pool.placements()
+
+
+def test_stop_drops_downstreams_and_moves_no_token():
+    env, net, pool, servers = _world(n_broker_hosts=1, n_viz=2)
+
+    def scenario():
+        yield from pool.brokers[0].add_visualization("viz-0", "viz-0", 6000)
+        yield from pool.brokers[0].add_visualization("viz-1", "viz-1", 6000)
+
+    env.process(scenario())
+    env.run(until=10.0)
+    broker = pool.brokers[0]
+    assert broker.alive and broker.master == "viz-0"
+    broker.stop()
+    assert not broker.alive
+    assert broker.participants() == [] and broker.master is None
+
+
 def test_stats_reflect_assignments():
     env, net, pool, servers = _world(n_broker_hosts=2)
     pool.place("a")

@@ -108,6 +108,69 @@ def test_nan_values_match_naive():
     assert reg.find({"x": nan}) == reg._find_naive({"x": nan}) == []
 
 
+def _assert_index_consistent(reg):
+    """The inverted index holds exactly the live (key, value) -> handle
+    facts: no stale buckets, no empty buckets, nothing missing."""
+    for (k, v), bucket in reg._index.items():
+        assert bucket, f"empty bucket left behind for {(k, v)!r}"
+        for handle in bucket:
+            assert handle in reg._entries, f"stale handle {handle!r}"
+            stored = reg._entries[handle].get(k, _MISSING)
+            # Hash-equal values (1, 1.0, True) share a bucket key; the
+            # entry must hold an == value under that key.
+            assert stored is not _MISSING and stored == v
+    for handle, meta in reg._entries.items():
+        if handle in reg._unindexed:
+            continue
+        for k, v in meta.items():
+            assert handle in reg._index.get((k, v), ()), (
+                f"{handle!r} missing from bucket {(k, v)!r}"
+            )
+    assert reg._unindexed <= set(reg._entries)
+
+
+_MISSING = object()
+
+
+def test_index_consistency_under_randomized_churn():
+    rng = random.Random(42)
+    reg = RegistryService()
+    alive = set()
+    for step in range(600):
+        op = rng.random()
+        if op < 0.45 or not alive:
+            # publish a fresh handle
+            h = f"gsh://site:8000/churn-{step}"
+            reg.publish(h, {
+                "type": rng.choice(TYPES),
+                "application": rng.choice(APPS),
+                "site": rng.choice(SITES),
+            })
+            alive.add(h)
+        elif op < 0.80:
+            # update-metadata: republish an existing handle with fresh
+            # (possibly fewer/different) keys — old facts must vanish
+            h = rng.choice(sorted(alive))
+            meta = {"application": rng.choice(APPS)}
+            if rng.random() < 0.5:
+                meta["site"] = rng.choice(SITES)
+            if rng.random() < 0.3:
+                meta["view"] = [rng.random()]  # unhashable branch
+            reg.publish(h, meta)
+        else:
+            h = rng.choice(sorted(alive))
+            reg.unpublish(h)
+            alive.remove(h)
+        if step % 50 == 0:
+            _assert_index_consistent(reg)
+    _assert_index_consistent(reg)
+    assert set(reg._entries) == alive
+    # And the indexed find still matches the naive scan on every query.
+    probes = QUERIES + [{"site": s} for s in SITES]
+    for q in probes:
+        assert reg.find(q) == reg._find_naive(q)
+
+
 def test_publish_validation_unchanged():
     reg = RegistryService()
     with pytest.raises(OgsaError):

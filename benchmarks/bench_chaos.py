@@ -1,0 +1,174 @@
+"""CHAOS — recovery latency and goodput retained across a fault matrix.
+
+Every scenario runs the same seeded 2x-overload Poisson stream against
+the same 3-site fabric; only the fault schedule differs.  The questions
+a production grid is judged on when things break:
+
+* **goodput retained** — completed sessions as a fraction of the
+  no-fault baseline: how much of the service survived the fault;
+* **recovery latency** — fault instant to recovered-session completion,
+  for the migrate/retry paths;
+* **honesty** — zero invariant violations in every cell: the machinery
+  may lose capacity, never track of a session or a slot.
+
+All runs are deterministic under the fixed seeds; results land in
+``BENCH_chaos.json`` so the resilience trajectory is diffable across PRs.
+"""
+
+import time
+
+from benchmarks.conftest import run_once, write_json
+from repro.chaos import (
+    ChaosHarness,
+    ContainerCrash,
+    FaultSchedule,
+    FirewallLockdown,
+    RegistryShardLoss,
+    SiteOutage,
+    SlowNode,
+    VBrokerCrash,
+)
+from repro.fleet import BrokerPool, FleetDriver
+from repro.load import AdmissionController, PoissonArrivals
+
+N_SITES = 3
+QUEUE_SLOTS = 2
+QUEUE_LIMIT = 12
+HORIZON = 12.0
+SEED = 11
+#: ~2x the fabric's service rate (6 slots / ~3.5 s per session)
+RATE_2X = 3.4
+
+#: the fault matrix: scenario name -> schedule builder
+MATRIX = {
+    "baseline": lambda: FaultSchedule(),
+    "site-outage": lambda: FaultSchedule([
+        SiteOutage(at=5.0, site=0, duration=20.0),
+    ]),
+    "container-crash": lambda: FaultSchedule([
+        ContainerCrash(at=5.0, site=0, duration=10.0),
+    ]),
+    "vbroker-crash": lambda: FaultSchedule([
+        VBrokerCrash(at=5.0, broker=0),
+    ]),
+    "shard-loss": lambda: FaultSchedule([
+        RegistryShardLoss(at=5.0, shard=0),
+    ]),
+    "lockdown": lambda: FaultSchedule([
+        FirewallLockdown(at=5.0, host="hpc-1", duration=8.0),
+    ]),
+    "limp-node": lambda: FaultSchedule([
+        SlowNode(at=5.0, site=1, factor=8.0, duration=8.0),
+    ]),
+    "outage+vbroker": lambda: FaultSchedule([
+        SiteOutage(at=5.0, site=0, duration=20.0),
+        VBrokerCrash(at=6.0, broker=0),
+    ]),
+}
+
+
+def _run(scenario: str):
+    t0 = time.perf_counter()
+    driver = FleetDriver(n_sites=N_SITES, queue_slots=QUEUE_SLOTS)
+    pool = BrokerPool.build(
+        driver.net, [s.svc_name for s in driver.sites], port=7100
+    )
+    ctl = AdmissionController(driver, queue_limit=QUEUE_LIMIT)
+    world = ChaosHarness(driver, ctl, pool=pool)
+    world.install(MATRIX[scenario]())
+    arrivals = PoissonArrivals(rate=RATE_2X, horizon=HORIZON, seed=SEED,
+                               duration=2.0, cadence=0.5, participants=1)
+    report = ctl.run(arrivals, until=180.0)
+    verdict = world.verdict(report)
+    return report, verdict, time.perf_counter() - t0
+
+
+def _row(name, report, verdict, baseline_completed, wall):
+    rec = verdict["recovery"]
+    lat = rec["recovery_latency_s"]
+    return [
+        name,
+        report.completed,
+        f"{report.completed / baseline_completed:.0%}",
+        rec["impacted"],
+        rec["recovered_via"]["retry"],
+        rec["recovered_via"]["migrate"],
+        rec["degraded"],
+        rec["abandoned"],
+        "-" if lat["mean"] is None else f"{lat['mean']:.2f}",
+        "-" if lat["max"] is None else f"{lat['max']:.2f}",
+        verdict["invariant_violations"],
+        f"{wall:.2f}",
+    ]
+
+
+HEADER = ["fault", "completed", "goodput vs base", "impacted", "retry",
+          "migrate", "degraded", "abandoned", "rec lat mean (s)",
+          "rec lat max (s)", "violations", "wall (s)"]
+
+
+def test_chaos_fault_matrix(benchmark, reporter):
+    def matrix():
+        return {name: _run(name) for name in MATRIX}
+
+    results = run_once(benchmark, matrix)
+    base_report, base_verdict, _ = results["baseline"]
+    rows = [
+        _row(name, rep, ver, base_report.completed, wall)
+        for name, (rep, ver, wall) in results.items()
+    ]
+    reporter.table(
+        f"CHAOS: fault matrix at 2x load ({N_SITES} sites x "
+        f"{QUEUE_SLOTS} slots, Poisson lambda={RATE_2X}/s, seed {SEED})",
+        HEADER,
+        rows,
+    )
+    # Honesty: zero invariant violations in every cell of the matrix.
+    for name, (rep, ver, _) in results.items():
+        assert ver["invariant_violations"] == 0, (name, ver["violations"])
+        # Nothing stuck: every session reached a terminal state.
+        assert rep.completed + rep.failed == rep.n_sessions, name
+    # The acceptance bar: compound outage+vbroker recovers >= 90% of the
+    # impacted sessions via migrate/retry rather than abandoning them.
+    rec = results["outage+vbroker"][1]["recovery"]
+    assert rec["impacted"] > 0
+    assert rec["recovered"] / rec["impacted"] >= 0.9, rec
+    # Single-fault goodput stays useful: every cell retains >= 70% of
+    # the baseline's completions (the controller sheds fresh load, it
+    # does not collapse).
+    for name, (rep, _, _) in results.items():
+        assert rep.completed >= 0.7 * base_report.completed, name
+    # Deterministic under the fixed seeds: a rerun of one cell agrees.
+    again_rep, again_ver, _ = _run("site-outage")
+    assert again_rep.to_dict() == results["site-outage"][0].to_dict()
+    assert again_ver == results["site-outage"][1]
+    write_json("BENCH_chaos.json", {
+        "config": {
+            "n_sites": N_SITES, "queue_slots": QUEUE_SLOTS,
+            "queue_limit": QUEUE_LIMIT, "rate": RATE_2X,
+            "horizon": HORIZON, "seed": SEED,
+        },
+        "matrix": {
+            name: {
+                "report": rep.to_dict(),
+                "verdict": ver,
+                "wall_seconds": wall,
+            }
+            for name, (rep, ver, wall) in results.items()
+        },
+    })
+
+
+def test_chaos_smoke(reporter):
+    """CI smoke: one seeded compound fault schedule end-to-end."""
+    report, verdict, wall = _run("outage+vbroker")
+    rec = verdict["recovery"]
+    reporter.note(
+        f"CHAOS smoke: {report.completed} completed, "
+        f"{rec['impacted']} impacted, {rec['recovered']} recovered "
+        f"({rec['recovered_via']}), "
+        f"{verdict['invariant_violations']} violations, wall {wall:.2f}s"
+    )
+    assert verdict["invariant_violations"] == 0
+    assert rec["impacted"] > 0
+    assert rec["recovered"] / rec["impacted"] >= 0.9

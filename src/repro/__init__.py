@@ -30,6 +30,9 @@ Subpackage map (see DESIGN.md for the full inventory):
 * :mod:`repro.load` -- open-loop traffic on top of the fleet: seeded
   arrival processes, bounded-queue admission control with per-class
   SLOs, placement policies, reactive autoscaling of sites and shards.
+* :mod:`repro.chaos` -- seeded fault injection (outages, partitions,
+  crashes, lockdowns), per-session recovery orchestration
+  (retry/migrate/degrade/abandon) and continuous invariant checking.
 """
 
 __version__ = "1.0.0"
@@ -50,6 +53,7 @@ __all__ = [
     "workloads",
     "fleet",
     "load",
+    "chaos",
     "util",
     "errors",
 ]

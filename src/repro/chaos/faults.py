@@ -1,0 +1,335 @@
+"""The fault taxonomy and the seeded, replayable FaultSchedule DSL.
+
+The paper's sessions survived hostile realities — firewalled HPC centres,
+flaky trans-Atlantic links, mid-session service moves — but the testbed
+so far only met them as fixed topology.  This module makes failure a
+*scenario dimension*: a :class:`FaultSchedule` is a declarative, seeded
+list of faults over virtual time, compiled by
+:meth:`FaultSchedule.install` into DES processes that drive a
+:class:`~repro.chaos.inject.FaultInjector` while an open-loop fleet is
+running.  Same schedule, same seed, same arrivals => byte-for-byte the
+same run, so every fault scenario is also a regression test.
+
+Taxonomy (one frozen dataclass per kind):
+
+========================  ===================================================
+:class:`LinkDegrade`      WAN weather on one path: latency x N, bandwidth / N
+:class:`Partition`        a host pair goes dark (messages lost, connects fail)
+:class:`SiteOutage`       a whole site dies: HPC + service hosts isolated,
+                          every listener down, capacity marked failed
+:class:`ContainerCrash`   the OGSI::Lite container crashes; hosts stay up —
+                          the migration-recovery case
+:class:`VBrokerCrash`     a collaborative multiplexer dies; its sessions
+                          need broker-pool failover
+:class:`RegistryShardLoss`  one registry shard loses its entries (no revert:
+                          data loss is permanent until recovery republishes)
+:class:`FirewallLockdown` a site's firewall flips to deny-all mid-session
+:class:`SlowNode`         limp mode: every link touching the site degrades
+========================  ===================================================
+
+Faults with a ``duration`` auto-revert (the injector undoes them); with
+``duration=None`` they are permanent for the run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import ClassVar, Iterator, Optional, Sequence
+
+from repro.errors import ChaosError
+
+
+@dataclass(frozen=True, kw_only=True)
+class Fault:
+    """Base: *when* it fires and for how long it holds."""
+
+    kind: ClassVar[str] = "fault"
+
+    at: float
+    #: fault window; None = permanent (never reverted)
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ChaosError(f"{self.kind}: fault time must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ChaosError(
+                f"{self.kind}: duration must be > 0 or None (permanent)"
+            )
+
+    def describe(self) -> str:
+        params = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if f.name not in ("at", "duration")
+        )
+        window = "permanent" if self.duration is None else f"{self.duration:g}s"
+        return f"{self.kind}(t={self.at:g}, {window}" + (
+            f", {params})" if params else ")"
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class LinkDegrade(Fault):
+    kind: ClassVar[str] = "link-degrade"
+
+    a: str
+    b: str
+    latency_factor: float = 10.0
+    bandwidth_factor: float = 0.1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.latency_factor < 1.0 or not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ChaosError(
+                f"{self.kind}: need latency_factor >= 1 and "
+                "bandwidth_factor in (0, 1]"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class Partition(Fault):
+    kind: ClassVar[str] = "partition"
+
+    a: str
+    b: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class SiteOutage(Fault):
+    kind: ClassVar[str] = "site-outage"
+
+    site: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.site < 0:
+            raise ChaosError(f"{self.kind}: site index must be >= 0")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ContainerCrash(Fault):
+    kind: ClassVar[str] = "container-crash"
+
+    site: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.site < 0:
+            raise ChaosError(f"{self.kind}: site index must be >= 0")
+
+
+@dataclass(frozen=True, kw_only=True)
+class VBrokerCrash(Fault):
+    kind: ClassVar[str] = "vbroker-crash"
+
+    broker: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.broker < 0:
+            raise ChaosError(f"{self.kind}: broker index must be >= 0")
+
+
+@dataclass(frozen=True, kw_only=True)
+class RegistryShardLoss(Fault):
+    kind: ClassVar[str] = "registry-shard-loss"
+
+    shard: int
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shard < 0:
+            raise ChaosError(f"{self.kind}: shard index must be >= 0")
+        if self.duration is not None:
+            raise ChaosError(
+                f"{self.kind}: shard loss is permanent data loss; recovery "
+                "republishes — a duration would imply the entries come back"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class FirewallLockdown(Fault):
+    kind: ClassVar[str] = "firewall-lockdown"
+
+    host: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class SlowNode(Fault):
+    kind: ClassVar[str] = "slow-node"
+
+    site: int
+    factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.site < 0:
+            raise ChaosError(f"{self.kind}: site index must be >= 0")
+        if self.factor <= 1.0:
+            raise ChaosError(f"{self.kind}: limp factor must be > 1")
+
+
+#: every concrete fault kind, for validation and random generation
+FAULT_KINDS: tuple[type, ...] = (
+    LinkDegrade, Partition, SiteOutage, ContainerCrash, VBrokerCrash,
+    RegistryShardLoss, FirewallLockdown, SlowNode,
+)
+
+
+class FaultSchedule:
+    """An ordered, validated set of faults — the replayable scenario unit.
+
+    Iteration order is firing order: by ``at``, ties broken by insertion
+    (same-time faults fire in the order they were declared, matching the
+    DES kernel's FIFO rule — determinism is load-bearing here too).
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self._faults: list[Fault] = []
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: Fault) -> "FaultSchedule":
+        if not isinstance(fault, Fault) or type(fault) is Fault:
+            raise ChaosError(
+                f"schedule entries must be concrete Fault instances, "
+                f"got {fault!r}"
+            )
+        self._faults.append(fault)
+        return self
+
+    def __iter__(self) -> Iterator[Fault]:
+        decorated = sorted(
+            (fault.at, i, fault) for i, fault in enumerate(self._faults)
+        )
+        return iter(fault for _, _, fault in decorated)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    @property
+    def horizon(self) -> float:
+        """When the last fault window closes (0.0 for an empty schedule)."""
+        return max(
+            (f.at + (f.duration or 0.0) for f in self._faults), default=0.0
+        )
+
+    def describe(self) -> list[str]:
+        return [f.describe() for f in self]
+
+    # -- compilation -------------------------------------------------------
+
+    def install(self, injector) -> list:
+        """Compile into DES processes driving the injector; returns them.
+
+        Each fault becomes one process: wait until ``at``, apply; if the
+        fault has a duration, wait it out and revert.
+        """
+        injector.validate(self)
+        return [
+            injector.env.process(self._fire(injector, fault))
+            for fault in self
+        ]
+
+    @staticmethod
+    def _fire(injector, fault: Fault):
+        env = injector.env
+        if fault.at > env.now:
+            yield env.timeout(fault.at - env.now)
+        injector.apply(fault)
+        if fault.duration is not None:
+            yield env.timeout(fault.duration)
+            injector.revert(fault)
+
+    # -- seeded generation -------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon: float,
+        n_faults: int = 4,
+        sites: int = 2,
+        shards: int = 0,
+        brokers: int = 0,
+        hosts: Sequence[str] = (),
+        host_pairs: Sequence[tuple[str, str]] = (),
+        kinds: Optional[Sequence[type]] = None,
+    ) -> "FaultSchedule":
+        """A seeded random schedule over the fabric's population.
+
+        Faults land in disjoint time slots across ``(0, 0.8 * horizon)``
+        — overlap-free per construction, so apply/revert pairs never
+        interleave on the same target and the same seed always compiles
+        to the same DES event sequence.  Kinds needing a population the
+        caller did not declare (no brokers, no host pairs...) are
+        excluded automatically.
+        """
+        if horizon <= 0:
+            raise ChaosError("random schedule needs a positive horizon")
+        if n_faults < 1:
+            raise ChaosError("random schedule needs >= 1 fault")
+        rng = random.Random(seed)
+        pool = list(kinds) if kinds is not None else list(FAULT_KINDS)
+        if sites < 1:
+            pool = [k for k in pool
+                    if k not in (SiteOutage, ContainerCrash, SlowNode)]
+        if shards < 1:
+            pool = [k for k in pool if k is not RegistryShardLoss]
+        if brokers < 1:
+            pool = [k for k in pool if k is not VBrokerCrash]
+        if not host_pairs:
+            pool = [k for k in pool if k not in (LinkDegrade, Partition)]
+        if not hosts:
+            pool = [k for k in pool if k is not FirewallLockdown]
+        if not pool:
+            raise ChaosError(
+                "no fault kind is satisfiable with the declared populations"
+            )
+        schedule = cls()
+        slot = 0.8 * horizon / n_faults
+        for i in range(n_faults):
+            kind = rng.choice(pool)
+            offset = rng.uniform(0.1, 0.5) * slot
+            at = slot * i + offset
+            # The whole apply..revert window stays inside this fault's
+            # slot, so windows are disjoint by construction.
+            duration = rng.uniform(0.3, 0.95) * (slot - offset)
+            if kind is LinkDegrade:
+                a, b = rng.choice(list(host_pairs))
+                schedule.add(LinkDegrade(
+                    at=at, duration=duration, a=a, b=b,
+                    latency_factor=float(rng.randint(2, 20)),
+                    bandwidth_factor=rng.choice((0.5, 0.25, 0.1)),
+                ))
+            elif kind is Partition:
+                a, b = rng.choice(list(host_pairs))
+                schedule.add(Partition(at=at, duration=duration, a=a, b=b))
+            elif kind is SiteOutage:
+                schedule.add(SiteOutage(
+                    at=at, duration=duration, site=rng.randrange(sites)
+                ))
+            elif kind is ContainerCrash:
+                schedule.add(ContainerCrash(
+                    at=at, duration=duration, site=rng.randrange(sites)
+                ))
+            elif kind is VBrokerCrash:
+                schedule.add(VBrokerCrash(
+                    at=at, duration=duration, broker=rng.randrange(brokers)
+                ))
+            elif kind is RegistryShardLoss:
+                schedule.add(RegistryShardLoss(
+                    at=at, shard=rng.randrange(shards)
+                ))
+            elif kind is FirewallLockdown:
+                schedule.add(FirewallLockdown(
+                    at=at, duration=duration, host=rng.choice(list(hosts))
+                ))
+            elif kind is SlowNode:
+                schedule.add(SlowNode(
+                    at=at, duration=duration, site=rng.randrange(sites),
+                    factor=float(rng.randint(4, 12)),
+                ))
+        return schedule

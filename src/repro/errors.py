@@ -90,6 +90,13 @@ class LoadError(ReproError):
     configuration, admission-controller invariant violation)."""
 
 
+class ChaosError(ReproError):
+    """Chaos layer failure: a malformed fault schedule, an injector
+    applied against a fabric that cannot host it, or — the one that
+    matters — an :class:`repro.chaos.invariants.InvariantMonitor`
+    conservation-law violation surfaced by ``assert_ok``."""
+
+
 class CoviseError(ReproError):
     """COVISE substrate failure (bad module wiring, missing data object)."""
 

@@ -25,6 +25,8 @@ class BrokerPool:
         self.brokers = list(brokers)
         #: session name -> broker index
         self._placement: dict[str, int] = {}
+        #: sessions re-placed off a dead broker (chaos recovery metric)
+        self.failovers = 0
 
     @classmethod
     def build(
@@ -85,6 +87,27 @@ class BrokerPool:
         if idx is None:
             raise VisitError(f"session {session!r} has no broker placement")
         return self.brokers[idx]
+
+    def live_brokers(self) -> list[int]:
+        return [i for i, b in enumerate(self.brokers) if b.alive]
+
+    def sessions_on(self, idx: int) -> list[str]:
+        return sorted(s for s, b in self._placement.items() if b == idx)
+
+    def replace(self, session: str) -> VBroker:
+        """Fail a session over to a live broker after its broker died.
+
+        Drops the stale placement and places anew (least-loaded among
+        live brokers); participants must be re-added through the new
+        broker by the caller — the dead broker's downstream connections
+        died with it.  Raises :class:`VisitError` when no live broker
+        remains (nothing to fail over to).
+        """
+        old = self._placement.pop(session, None)
+        broker = self.place(session)
+        if old is not None:
+            self.failovers += 1
+        return broker
 
     def release(self, session: str) -> None:
         self._placement.pop(session, None)

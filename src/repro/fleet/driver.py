@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
-from repro.des import Environment
+from repro.des import Environment, Interrupt
+from repro.des.core import Process
 from repro.errors import ReproError
 from repro.fleet.registry_fed import FederatedRegistry, make_shards, shard_index
 from repro.fleet.report import FleetReport
@@ -128,6 +129,16 @@ class FleetDriver:
         #: monotone counter: unique control/sample port pair per session
         self._session_seq = 0
         self._placements: list[tuple[ScenarioSpec, FleetSite, str, int]] = []
+        #: running session processes by name (started, not yet finished)
+        self.active: dict[str, Process] = {}
+        #: session name -> site index, for every session ever registered
+        self.site_of: dict[str, int] = {}
+        #: sessions told to shed their remaining steering ops (the
+        #: "degrade" recovery policy); the steer loop checks membership
+        self.degraded: set[str] = set()
+        #: lifecycle subscribers ``cb(kind, name, site_index)`` with kind
+        #: in {"start", "complete", "fail", "cancel"}
+        self.session_observers: list[Callable] = []
 
         if queue_slots is None:
             sessions_per_site = -(-len(specs) // n_sites) if specs else 8
@@ -196,6 +207,7 @@ class FleetDriver:
                 f"session {spec.name!r} already admitted to this fleet"
             )
         self._specs_by_name[spec.name] = spec
+        self.site_of[spec.name] = site.index
         client = self._client_host(site, spec)
         control_port = SESSION_PORT_BASE + 2 * self._session_seq
         self._session_seq += 1
@@ -243,17 +255,80 @@ class FleetDriver:
             site = self.sites[site]
         client, control_port = self._register_session(spec, site)
         if at is None or at <= self.env.now:
-            return self.env.process(
+            proc = self.env.process(
                 self._session(spec, site, client, control_port)
             )
-        return self.env.process(
-            self._admit_at(at, spec, site, client, control_port)
-        )
+        else:
+            proc = self.env.process(
+                self._admit_at(at, spec, site, client, control_port)
+            )
+        self._track(spec, site, proc)
+        return proc
+
+    def _track(self, spec: ScenarioSpec, site: FleetSite,
+               proc: Process) -> None:
+        self.active[spec.name] = proc
+        self._notify_session("start", spec.name, site.index)
+
+    def _notify_session(self, kind: str, name: str, site_index: int) -> None:
+        for cb in self.session_observers:
+            cb(kind, name, site_index)
 
     def _admit_at(self, at: float, spec: ScenarioSpec, site: FleetSite,
                   client: str, control_port: int):
-        yield self.env.timeout(at - self.env.now)
+        try:
+            yield self.env.timeout(at - self.env.now)
+        except Interrupt as intr:
+            # Cancelled while waiting for its admission instant.
+            self.telemetry.session(spec.name).mark_failed(
+                f"cancelled: {intr.cause}", self.env.now
+            )
+            self.active.pop(spec.name, None)
+            self._notify_session("cancel", spec.name, site.index)
+            return
         yield from self._session(spec, site, client, control_port)
+
+    # -- chaos / recovery hooks --------------------------------------------
+
+    def spec_of(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs_by_name[name]
+        except KeyError:
+            raise ReproError(f"no session {name!r} in this fleet") from None
+
+    def sessions_at(self, site_index: int) -> list[str]:
+        """Names of *running* sessions placed on a site."""
+        return sorted(
+            name for name in self.active
+            if self.site_of.get(name) == site_index
+        )
+
+    def site_of_host(self, host_name: str) -> Optional[int]:
+        """The site index owning a host (HPC or service side), if any."""
+        for site in self.sites:
+            if host_name in (site.hpc_name, site.svc_name):
+                return site.index
+        return None
+
+    def cancel_session(self, name: str, reason: str = "cancelled") -> bool:
+        """Interrupt a running session (fault recovery's first move).
+
+        The session's process unwinds at its current yield point, marks
+        its telemetry failed with the reason, and releases whatever it
+        held; an admission controller waiting on the process sees it
+        finish normally and frees the capacity slot.  Returns False when
+        the session is not running (already finished or never started).
+        """
+        proc = self.active.get(name)
+        if proc is None or proc.triggered:
+            return False
+        proc.interrupt(reason)
+        return True
+
+    def degrade_session(self, name: str) -> None:
+        """Tell a session to shed its remaining steering ops and wind
+        down (the "degrade" recovery policy for limp-mode faults)."""
+        self.degraded.add(name)
 
     def add_site(self, queue_slots: Optional[int] = None) -> FleetSite:
         """Grow the fabric by one service site (elastic capacity).
@@ -319,6 +394,7 @@ class FleetDriver:
         client = OgsaSteeringClient(
             client_host, self.resolver, site.svc_name, CONTAINER_PORT
         )
+        outcome = "fail"
         try:
             yield from uc.connect()
             yield from orch.launch(
@@ -340,6 +416,10 @@ class FleetDriver:
                     env.process(self._observer(spec, site, steer, p))
 
             for k in range(spec.n_ops):
+                if spec.name in self.degraded:
+                    # Recovery said degrade: shed the remaining steering
+                    # ops, keep the session alive through a clean stop.
+                    break
                 t0 = env.now
                 try:
                     if k % 2 == 0:
@@ -356,14 +436,37 @@ class FleetDriver:
                         tel.record_timeout()
                     else:
                         tel.record_error()
+                    # The service may have migrated out from under the
+                    # stale binding — the GSH/GSR indirection makes a
+                    # fresh resolve the cure, so try one before the next
+                    # op.  If the fabric is simply dark, this fails
+                    # quietly and the loop keeps recording timeouts.
+                    try:
+                        yield from client.rebind(steer)
+                    except ReproError:
+                        pass
                 yield env.timeout(spec.cadence)
-            yield from client.invoke(steer, "stop")
+            try:
+                yield from client.invoke(steer, "stop")
+            except ReproError:
+                # The service may have moved since the last op: stop it
+                # through a fresh binding rather than fail a session
+                # whose steering work is already done.
+                yield from client.rebind(steer)
+                yield from client.invoke(steer, "stop")
             tel.mark_completed(env.now)
+            outcome = "complete"
+        except Interrupt as intr:
+            tel.mark_failed(f"cancelled: {intr.cause}", env.now)
+            outcome = "cancel"
         except ReproError as exc:
             tel.mark_failed(f"{type(exc).__name__}: {exc}", env.now)
         finally:
             client.close()
             uc.close()
+            self.active.pop(spec.name, None)
+            self.degraded.discard(spec.name)
+            self._notify_session(outcome, spec.name, site.index)
 
     def _observer(self, spec: ScenarioSpec, site: FleetSite, steer: str,
                   p: int):
@@ -414,7 +517,8 @@ class FleetDriver:
             wall_seconds: Optional[float] = None) -> FleetReport:
         """Admit every session and run the world; returns the report."""
         for spec, site, client, port in self._placements:
-            self.env.process(self._session(spec, site, client, port))
+            proc = self.env.process(self._session(spec, site, client, port))
+            self._track(spec, site, proc)
         self.env.run(until=self.deadline() if until is None else until)
         return self.report(wall_seconds=wall_seconds)
 

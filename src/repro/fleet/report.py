@@ -34,6 +34,7 @@ class QueueSlice:
     rejected: int
     abandoned: int
     slo_met: int
+    requeued: int
     wait_p50: float
     wait_p90: float
     wait_p99: float
@@ -55,6 +56,7 @@ class QueueSlice:
                 "rejected": c["rejected"],
                 "abandoned": c["abandoned"],
                 "slo_met": c["slo_met"],
+                "requeued": c["requeued"],
                 "wait_p90_s": c["wait"].percentile(90),
             }
         return cls(
@@ -63,6 +65,7 @@ class QueueSlice:
             rejected=q.rejected,
             abandoned=q.abandoned,
             slo_met=q.slo_met,
+            requeued=q.requeued,
             wait_p50=q.wait.percentile(50),
             wait_p90=q.wait.percentile(90),
             wait_p99=q.wait.percentile(99),
@@ -93,6 +96,7 @@ class QueueSlice:
             "rejected": self.rejected,
             "abandoned": self.abandoned,
             "slo_met": self.slo_met,
+            "requeued": self.requeued,
             "rejection_rate": self.rejection_rate,
             "abandonment_rate": self.abandonment_rate,
             "wait_p50_s": self.wait_p50,
@@ -124,6 +128,8 @@ class QueueSlice:
                 f"autoscale: +{self.scale_ups} sites grown, "
                 f"-{self.scale_downs} drained"
             )
+        if self.requeued:
+            lines.append(f"recovery: {self.requeued} sessions requeued")
         return "\n".join(lines)
 
 

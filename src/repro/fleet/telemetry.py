@@ -112,6 +112,8 @@ class QueueTelemetry:
         self.admitted = 0
         self.rejected = 0
         self.abandoned = 0
+        #: offers that were fault-recovery requeues (subset of offered)
+        self.requeued = 0
         #: admissions whose wait met the class admission-wait SLO
         self.slo_met = 0
         self.scale_ups = 0
@@ -127,7 +129,7 @@ class QueueTelemetry:
         if c is None:
             c = {
                 "offered": 0, "admitted": 0, "rejected": 0, "abandoned": 0,
-                "slo_met": 0,
+                "slo_met": 0, "requeued": 0,
                 "wait": LatencyProbe(64, seed=20_011 + len(self.by_class)),
             }
             self.by_class[name] = c
@@ -138,6 +140,14 @@ class QueueTelemetry:
     def record_offer(self, cls: str) -> None:
         self.offered += 1
         self._cls(cls)["offered"] += 1
+
+    def record_requeue(self, cls: str) -> None:
+        """A recovery requeue: counts as an offer (so the conservation
+        law ``offered == admitted + rejected + abandoned + queued`` keeps
+        holding) plus its own counter for the chaos scorecards."""
+        self.record_offer(cls)
+        self.requeued += 1
+        self._cls(cls)["requeued"] += 1
 
     def record_admit(self, cls: str, wait: float, met_slo: bool) -> None:
         self.admitted += 1

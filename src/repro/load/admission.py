@@ -30,7 +30,7 @@ from repro.fleet.report import FleetReport
 from repro.load.arrivals import ArrivalProcess
 from repro.load.capacity import CapacityLedger
 from repro.load.placement import LeastLoaded, PlacementPolicy
-from repro.load.slo import SloClass, classify
+from repro.load.slo import RETRY, SloClass, classify
 
 QUEUED, ADMITTED, ABANDONED = "queued", "admitted", "abandoned"
 
@@ -72,11 +72,18 @@ class AdmissionController:
         #: (name, class name, admission wait met the SLO) per admission,
         #: in admission order — the goodput raw material
         self.admissions: list[tuple[str, str, bool]] = []
+        #: queue-transition subscribers ``cb(kind, **detail)`` — the
+        #: chaos invariant monitor mirrors conservation laws off these
+        self.observers: list[Callable] = []
         self._heap: list[tuple[int, int, _Queued]] = []
         self._queued = 0
         self._seq = 0
         self._wake = self.env.event()
         self.env.process(self._dispatch_loop())
+
+    def _notify(self, kind: str, **detail) -> None:
+        for cb in self.observers:
+            cb(kind, **detail)
 
     # -- arrivals ----------------------------------------------------------
 
@@ -86,9 +93,31 @@ class AdmissionController:
         now = self.env.now
         cls = self.classifier(spec)
         self.telemetry.record_offer(cls.name)
+        self._notify("offer", spec=spec, cls=cls.name)
         if self._queued >= self.queue_limit:
             self.telemetry.record_reject(cls.name)
+            self._notify("reject", spec=spec, cls=cls.name)
             return False
+        self._enqueue(spec, cls, now)
+        return True
+
+    def requeue(self, spec, cls: Optional[SloClass] = None) -> None:
+        """Re-enqueue a session displaced by a fault (recovery traffic).
+
+        Unlike :meth:`offer` this never bounces on a full queue — the
+        backpressure bound sheds *fresh* arrivals, but work the grid
+        already accepted must not be lost to it — and it queues at
+        :data:`~repro.load.slo.RETRY` priority, ahead of every arrival
+        class, so recovery latency is the time to find capacity, not the
+        time to out-wait the backlog.
+        """
+        now = self.env.now
+        cls = cls or RETRY
+        self.telemetry.record_requeue(cls.name)
+        self._notify("requeue", spec=spec, cls=cls.name)
+        self._enqueue(spec, cls, now)
+
+    def _enqueue(self, spec, cls: SloClass, now: float) -> None:
         entry = _Queued(spec, cls, offered_at=now, seq=self._seq)
         self._seq += 1
         heapq.heappush(self._heap, (cls.priority, entry.seq, entry))
@@ -99,7 +128,6 @@ class AdmissionController:
         # arriving at an idle grid must not wait on the dispatcher's
         # next wakeup, and the recorded wait is exactly zero.
         self._drain()
-        return True
 
     def feed(self, arrivals: ArrivalProcess):
         """Offer every arrival at its instant; returns the feeder process."""
@@ -129,6 +157,7 @@ class AdmissionController:
             self._queued -= 1
             self.telemetry.record_abandon(entry.cls.name)
             self.telemetry.record_depth(self.env.now, self._queued)
+            self._notify("abandon", spec=entry.spec, cls=entry.cls.name)
 
     def _peek(self) -> Optional[_Queued]:
         while self._heap and self._heap[0][2].state != QUEUED:
@@ -153,6 +182,7 @@ class AdmissionController:
                 return
             heapq.heappop(self._heap)
             self.ledger.acquire(site)
+            self._notify("acquire", site=site)
             entry.state = ADMITTED
             self._queued -= 1
             now = self.env.now
@@ -161,6 +191,8 @@ class AdmissionController:
             self.telemetry.record_admit(entry.cls.name, wait, met_slo)
             self.telemetry.record_depth(now, self._queued)
             self.admissions.append((entry.spec.name, entry.cls.name, met_slo))
+            self._notify("admit", spec=entry.spec, cls=entry.cls.name,
+                         site=site, wait=wait)
             self.env.process(self._run_session(entry, site))
 
     def _run_session(self, entry: _Queued, site: int):
@@ -173,6 +205,7 @@ class AdmissionController:
             pass
         finally:
             self.ledger.release(site)
+            self._notify("release", site=site)
             self.kick()
 
     # -- convenience -------------------------------------------------------

@@ -68,6 +68,10 @@ class CapacityLedger:
         self._slots: dict[int, int] = {}
         self._inflight: dict[int, int] = {}
         self._drained: set[int] = set()
+        #: sites lost to a fault: unplaceable like drained, but *not* an
+        #: operator decision — the chaos injector flips these, and
+        #: sessions that die there still release their slots cleanly
+        self._failed: set[int] = set()
 
     # -- membership --------------------------------------------------------
 
@@ -93,6 +97,22 @@ class CapacityLedger:
         self._check(index)
         return index in self._drained
 
+    def fail(self, index: int) -> None:
+        """A fault took the site down: nothing places there until
+        :meth:`repair`.  In-flight counts are untouched — the admission
+        controller's release path still balances its acquires even when
+        the sessions holding the slots died with the site."""
+        self._check(index)
+        self._failed.add(index)
+
+    def repair(self, index: int) -> None:
+        self._check(index)
+        self._failed.discard(index)
+
+    def is_failed(self, index: int) -> bool:
+        self._check(index)
+        return index in self._failed
+
     # -- accounting --------------------------------------------------------
 
     def _check(self, index: int) -> None:
@@ -103,6 +123,8 @@ class CapacityLedger:
         self._check(index)
         if index in self._drained:
             raise LoadError(f"site {index} is drained; cannot place there")
+        if index in self._failed:
+            raise LoadError(f"site {index} is failed; cannot place there")
         if self._inflight[index] >= self._slots[index]:
             raise LoadError(
                 f"site {index} is full "
@@ -127,9 +149,9 @@ class CapacityLedger:
         return self._inflight[index]
 
     def free(self, index: int) -> int:
-        """Open slots at a site; a drained site has none by definition."""
+        """Open slots at a site; drained and failed sites have none."""
         self._check(index)
-        if index in self._drained:
+        if index in self._drained or index in self._failed:
             return 0
         return self._slots[index] - self._inflight[index]
 
@@ -137,10 +159,16 @@ class CapacityLedger:
         return sorted(self._slots)
 
     def active_sites(self) -> list[int]:
-        return [i for i in self.sites() if i not in self._drained]
+        return [
+            i for i in self.sites()
+            if i not in self._drained and i not in self._failed
+        ]
 
     def drained_sites(self) -> list[int]:
         return sorted(self._drained)
+
+    def failed_sites(self) -> list[int]:
+        return sorted(self._failed)
 
     def sites_with_room(self) -> list[int]:
         return [i for i in self.sites() if self.free(i) > 0]
@@ -162,9 +190,11 @@ class CapacityLedger:
         return self.total_inflight / total
 
     def snapshot(self) -> dict[int, tuple[int, int, bool]]:
-        """site -> (inflight, slots, drained) for reports and debugging."""
+        """site -> (inflight, slots, unplaceable) for reports and
+        debugging; the flag covers both drained and failed sites."""
         return {
-            i: (self._inflight[i], self._slots[i], i in self._drained)
+            i: (self._inflight[i], self._slots[i],
+                i in self._drained or i in self._failed)
             for i in self.sites()
         }
 

@@ -46,6 +46,9 @@ class SloClass:
 INTERACTIVE = SloClass("interactive", priority=0, wait_slo=3.0, patience=8.0)
 #: an unattended parameter-sweep job; patient but low priority
 BATCH = SloClass("batch", priority=1, wait_slo=12.0, patience=40.0)
+#: fault-recovery requeues: already-admitted work displaced by an
+#: outage jumps every arrival class and waits out capacity rebuilds
+RETRY = SloClass("retry", priority=-1, wait_slo=30.0, patience=120.0)
 
 
 def classify(spec) -> SloClass:

@@ -17,6 +17,7 @@ from repro.errors import (
     ChannelClosed,
     ConnectionRefused,
     FirewallBlocked,
+    HostUnreachable,
     TimeoutExpired,
 )
 from repro.wire.codec import approx_size
@@ -57,6 +58,11 @@ _CLOSED = _Closed()
 #: Wire size of connection-control messages (SYN, ACK, FIN).
 CTRL_SIZE = 64
 
+#: How long an un-timed connect waits before concluding the destination is
+#: unreachable (the ICMP-less dark-partition case must still be bounded —
+#: VISIT's everything-has-a-timeout rule applies to the fabric itself).
+UNREACHABLE_GRACE = 3.0
+
 
 class Connection:
     """One endpoint of an established duplex channel."""
@@ -89,7 +95,15 @@ class Connection:
             raise ChannelClosed(f"send on closed connection to {self.peer_host.name}")
         pkt = payload if isinstance(payload, Packet) else Packet(payload, size)
         env = self.host.env
-        link = self.host.network.link(self.host.name, self.peer_host.name)
+        network = self.host.network
+        if not network.reachable(self.host.name, self.peer_host.name):
+            # Partitioned mid-flow: the message is lost on the dark WAN.
+            # The sender does not learn (TCP would buffer and retry until
+            # its own timers fire); the receiver's recv timeout is the
+            # failure signal, exactly as on a real flaky wide-area link.
+            network.dropped_messages += 1
+            return env.now
+        link = network.link(self.host.name, self.peer_host.name)
         deliver_at = link.reserve(pkt.size, env.now)
         self.bytes_sent += pkt.size
         self.messages_sent += 1
@@ -136,6 +150,13 @@ class Connection:
         self.closed = True
         if self.peer is not None and not self.peer.closed:
             env = self.host.env
+            if not self.host.network.reachable(
+                self.host.name, self.peer_host.name
+            ):
+                # FIN lost to the partition: the peer is left half-open
+                # and discovers the death through its own recv timeouts.
+                self.host.network.dropped_messages += 1
+                return
             link = self.host.network.link(self.host.name, self.peer_host.name)
             deliver_at = link.reserve(CTRL_SIZE, env.now)
             peer_inbox = self.peer.inbox
@@ -192,6 +213,17 @@ def open_connection(src_host, dst_name: str, port: int, timeout: Optional[float]
     network = src_host.network
     network.connect_attempts += 1
     dst_host = network.host(dst_name)
+
+    if not network.reachable(src_host.name, dst_name):
+        # The SYN vanishes into the partition; the caller waits out its
+        # timeout (or the bounded grace) and learns the path is dark.
+        wait = UNREACHABLE_GRACE if timeout is None else min(
+            timeout, UNREACHABLE_GRACE
+        )
+        yield env.timeout(wait)
+        raise HostUnreachable(
+            f"no path {src_host.name} -> {dst_name} (partitioned)"
+        )
 
     fwd = network.link(src_host.name, dst_name)
     rev = network.link(dst_name, src_host.name)

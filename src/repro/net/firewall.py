@@ -31,9 +31,37 @@ class Firewall:
     ) -> None:
         self.open_ports = None if open_ports is None else frozenset(open_ports)
         self.allow_multicast = allow_multicast
+        #: saved (open_ports, allow_multicast) while locked down
+        self._pre_lockdown: Optional[tuple] = None
 
     def allows_inbound(self, port: int) -> bool:
         return self.open_ports is None or port in self.open_ports
+
+    # -- mid-simulation transitions ----------------------------------------
+
+    def lockdown(self) -> None:
+        """Deny-all transition without rebuilding the host.
+
+        A site's security team reacting to an incident mid-session: every
+        inbound port closes and multicast stops crossing.  Established
+        connections are not torn down (the policy gates new *connects*),
+        which matches how stateful firewalls treat existing flows.
+        Idempotent; :meth:`lift_lockdown` restores the previous policy.
+        """
+        if self._pre_lockdown is None:
+            self._pre_lockdown = (self.open_ports, self.allow_multicast)
+        self.open_ports = frozenset()
+        self.allow_multicast = False
+
+    def lift_lockdown(self) -> None:
+        """Restore the policy that was in force before :meth:`lockdown`."""
+        if self._pre_lockdown is not None:
+            self.open_ports, self.allow_multicast = self._pre_lockdown
+            self._pre_lockdown = None
+
+    @property
+    def locked_down(self) -> bool:
+        return self._pre_lockdown is not None
 
     @classmethod
     def open(cls) -> "Firewall":

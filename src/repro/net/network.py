@@ -29,9 +29,45 @@ class Link:
         self.dst = dst
         self.latency = latency
         self.bandwidth = bandwidth  # bytes / second
+        #: healthy-state values; :meth:`restore` returns to these
+        self.base_latency = latency
+        self.base_bandwidth = bandwidth
         self._free_at = 0.0
         self.bytes_carried = 0
         self.transfers = 0
+
+    # -- fault injection ---------------------------------------------------
+
+    def degrade(self, latency_factor: float = 1.0,
+                bandwidth_factor: float = 1.0) -> None:
+        """Worsen the link relative to its *healthy* state.
+
+        ``latency_factor`` multiplies the base latency (>= 1);
+        ``bandwidth_factor`` scales the base bandwidth (in (0, 1]).
+        Degrades do not stack — each call is absolute against the base,
+        and :meth:`restore` heals completely, so transient fault windows
+        cannot leave residue.
+        """
+        if latency_factor < 1.0:
+            raise NetworkError(
+                f"latency_factor must be >= 1, got {latency_factor}"
+            )
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise NetworkError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
+        self.latency = self.base_latency * latency_factor
+        self.bandwidth = self.base_bandwidth * bandwidth_factor
+
+    def restore(self) -> None:
+        """Heal back to the healthy-state latency/bandwidth."""
+        self.latency = self.base_latency
+        self.bandwidth = self.base_bandwidth
+
+    @property
+    def degraded(self) -> bool:
+        return (self.latency != self.base_latency
+                or self.bandwidth != self.base_bandwidth)
 
     def reserve(self, nbytes: int, now: float) -> float:
         """Reserve the link for a transfer; return the *delivery* time."""
@@ -138,6 +174,12 @@ class Network:
         if log is not None:
             log.bind_clock(lambda: env.now)
         self.connect_attempts = 0
+        #: host pairs with no connectivity (WAN partition between sites)
+        self._partitions: set[frozenset] = set()
+        #: hosts cut off from everyone (site-wide outage)
+        self._isolated: set[str] = set()
+        #: messages silently lost to partitions/isolation
+        self.dropped_messages = 0
 
     # -- topology building ------------------------------------------------
 
@@ -185,6 +227,55 @@ class Network:
             made = Link(src, dst, self.default_latency, self.default_bandwidth)
         self._links[key] = made
         return made
+
+    # -- fault state -------------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut connectivity between two hosts (both directions).
+
+        In-flight messages already scheduled for delivery still arrive
+        (they are on the wire); everything sent *after* the cut is lost
+        and new connects fail with :class:`~repro.errors.HostUnreachable`.
+        """
+        for name in (a, b):
+            if name not in self.hosts:
+                raise NetworkError(f"partition references unknown host {name!r}")
+        if a == b:
+            raise NetworkError("cannot partition a host from itself")
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def isolate(self, name: str) -> None:
+        """Cut one host off from every other host (site outage)."""
+        if name not in self.hosts:
+            raise NetworkError(f"isolate references unknown host {name!r}")
+        self._isolated.add(name)
+
+    def rejoin(self, name: str) -> None:
+        self._isolated.discard(name)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether traffic can currently flow ``src -> dst``."""
+        if src == dst:
+            return True  # loopback survives any WAN event
+        if src in self._isolated or dst in self._isolated:
+            return False
+        return frozenset((src, dst)) not in self._partitions
+
+    def partitions(self) -> list[tuple[str, str]]:
+        return sorted(tuple(sorted(p)) for p in self._partitions)
+
+    def isolated_hosts(self) -> list[str]:
+        return sorted(self._isolated)
+
+    def links_of(self, name: str) -> list[Link]:
+        """Every existing link touching a host (both directions)."""
+        return [
+            link for (a, b), link in self._links.items()
+            if name in (a, b)
+        ]
 
     # -- accounting --------------------------------------------------------
 

@@ -70,6 +70,19 @@ class OgsaSteeringClient:
         if entry is not None:
             entry[0].close()
 
+    def rebind(self, handle_str: str):
+        """Generator: drop the cached binding and resolve the GSH afresh.
+
+        The client-side half of service migration (section 2.4): after a
+        service moves containers the resolver points at the new location,
+        and re-resolving the *same* handle reconnects there.  Also the
+        recovery move after a container crash — the stale connection is
+        discarded either way.
+        """
+        self.unbind(handle_str)
+        result = yield from self.bind(handle_str)
+        return result
+
     def bound(self) -> list[str]:
         return sorted(self._bound)
 

@@ -29,6 +29,11 @@ class OgsiLiteContainer:
         self._services: dict[str, GridService] = {}
         self.faults_returned = 0
         self.reaped = 0
+        self._listener = None
+        self._started = False
+        self._reaper_started = False
+        #: accepted server-side connections, severed on a crash
+        self._conns: list = []
 
     # -- deployment --------------------------------------------------------------
 
@@ -60,15 +65,50 @@ class OgsiLiteContainer:
 
     def start(self) -> None:
         listener = self.host.listen(self.port)
+        self._listener = listener
+        self._started = True
         env = self.host.env
 
         def accept_loop():
             while True:
                 conn = yield from listener.accept()
+                self._conns.append(conn)
                 env.process(self._serve(conn))
 
         env.process(accept_loop())
-        env.process(self._reaper())
+        if not self._reaper_started:
+            self._reaper_started = True
+            env.process(self._reaper())
+
+    def stop(self) -> None:
+        """Crash/drain the container: stop accepting and sever every
+        established service connection, so clients notice immediately
+        instead of waiting out invoke timeouts.  Deployed service
+        instances keep their state — that is what migration moves."""
+        if self._listener is not None:
+            self._listener.close()
+        for conn in self._conns:
+            conn.close()
+        self._conns.clear()
+
+    def restart(self) -> None:
+        """Bring a stopped container back up on its port (idempotent)."""
+        if not self.alive:
+            self.start()
+
+    @property
+    def alive(self) -> bool:
+        """True while the container's listener is open on its host."""
+        return (
+            self._listener is not None
+            and self.host.listeners.get(self.port) is self._listener
+        )
+
+    @property
+    def dead(self) -> bool:
+        """Started and then stopped — distinct from never-started, which
+        unit tests use for pure object-level wiring."""
+        return self._started and not self.alive
 
     def _reaper(self):
         env = self.host.env
@@ -79,40 +119,64 @@ class OgsiLiteContainer:
                     del self._services[sid]
                     self.reaped += 1
 
+    @staticmethod
+    def _reply(conn, payload) -> None:
+        """Send unless the connection died under us (container crash mid-
+        request): the reply is simply lost, like the process it came from."""
+        try:
+            conn.send(payload)
+        except ChannelClosed:
+            pass
+
     def _serve(self, conn):
+        try:
+            yield from self._serve_loop(conn)
+        finally:
+            # Drop the bookkeeping reference once the conversation ends,
+            # so _conns tracks *open* connections, not history.
+            try:
+                self._conns.remove(conn)
+            except ValueError:
+                pass  # stop() already cleared the list
+
+    def _serve_loop(self, conn):
         while True:
             try:
                 msg = yield from conn.recv(timeout=None)
             except ChannelClosed:
                 return
+            if conn.closed:
+                return  # crashed between delivery and dispatch
             try:
                 service_id, op, body, _ = open_envelope(msg)
             except OgsaError as exc:
                 self.faults_returned += 1
-                conn.send(envelope("?", "?", fault=str(exc)))
+                self._reply(conn, envelope("?", "?", fault=str(exc)))
                 continue
             svc = self._services.get(service_id)
             if svc is None or svc.expired(self.host.env.now):
                 self.faults_returned += 1
-                conn.send(
+                self._reply(
+                    conn,
                     envelope(service_id, op,
-                             fault=f"no such service {service_id!r}")
+                             fault=f"no such service {service_id!r}"),
                 )
                 continue
             try:
                 result = yield from svc.dispatch(op, body)
             except OgsaError as exc:
                 self.faults_returned += 1
-                conn.send(envelope(service_id, op, fault=str(exc)))
+                self._reply(conn, envelope(service_id, op, fault=str(exc)))
                 continue
             except Exception as exc:  # service bug: fault, don't crash
                 self.faults_returned += 1
-                conn.send(
+                self._reply(
+                    conn,
                     envelope(service_id, op,
-                             fault=f"{type(exc).__name__}: {exc}")
+                             fault=f"{type(exc).__name__}: {exc}"),
                 )
                 continue
-            conn.send(envelope(service_id, op, body={"result": result}))
+            self._reply(conn, envelope(service_id, op, body={"result": result}))
 
 
 class ServiceConnection:

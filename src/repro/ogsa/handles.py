@@ -58,6 +58,10 @@ class HandleResolver:
     def unbind(self, handle: GridServiceHandle) -> None:
         self._bindings.pop(handle, None)
 
+    def handles(self) -> list[GridServiceHandle]:
+        """Every currently-bound handle (registry-rebuild enumeration)."""
+        return list(self._bindings)
+
     def resolve(self, handle: GridServiceHandle) -> GridServiceReference:
         ref = self._bindings.get(handle)
         if ref is None:

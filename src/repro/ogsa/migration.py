@@ -42,6 +42,14 @@ def migrate_service(
         raise OgsaError(
             f"target container already hosts a service {service_id!r}"
         )
+    if target.dead:
+        # The target site died mid-migration: abort before any mutation
+        # so the source keeps serving.  (A never-started container is
+        # fine — object-level wiring precedes start() in several flows.)
+        raise OgsaError(
+            f"target container {target.authority!r} is down; "
+            f"migration of {service_id!r} aborted, source keeps it"
+        )
 
     handle = GridServiceHandle(source.authority, service_id)
     # Deploy on the target first; only then withdraw from the source.

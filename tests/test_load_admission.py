@@ -146,6 +146,66 @@ def test_queue_limit_validation():
         AdmissionController(driver, ledger=ledger, queue_limit=0)
 
 
+def test_requeue_bypasses_the_bound_and_jumps_the_queue():
+    env, driver, ctl = _world(slots=(1,), service_time=5.0, queue_limit=2)
+
+    def scenario():
+        ctl.offer(_spec("first"))      # takes the slot
+        ctl.offer(_spec("waiting-a"))  # fills the bound...
+        ctl.offer(_spec("waiting-b"))
+        assert ctl.offer(_spec("bounced")) is False  # ...which sheds
+        # Recovery requeue: enters anyway, ahead of the waiters.
+        ctl.requeue(_spec("displaced"))
+        yield env.timeout(0.0)
+
+    env.process(scenario())
+    env.run(until=30.0)
+    order = [name for _, name, _ in driver.launched]
+    assert order[0] == "first"
+    assert order[1] == "displaced"  # RETRY priority outranks every class
+    q = ctl.telemetry
+    assert q.requeued == 1
+    assert q.offered == 5  # 4 offers + 1 requeue: conservation holds
+    assert q.offered == q.admitted + q.rejected + q.abandoned
+    assert q.by_class["retry"]["requeued"] == 1
+    assert q.by_class["retry"]["admitted"] == 1
+
+
+def test_requeued_session_still_abandons_after_retry_patience():
+    from repro.load.slo import RETRY
+
+    env, driver, ctl = _world(slots=(1,), service_time=500.0)
+    ctl.offer(_spec("hog"))        # occupies the only slot forever
+    ctl.requeue(_spec("displaced"))
+    env.run(until=200.0)
+    q = ctl.telemetry
+    # The requeue is patient (120 s) but not infinitely so: with no
+    # capacity coming back it abandons rather than leaking.
+    assert q.abandoned == 1
+    assert q.by_class["retry"]["abandoned"] == 1
+    assert len(driver.launched) == 1
+    assert RETRY.patience == 120.0
+
+
+def test_queue_observers_mirror_every_transition():
+    env, driver, ctl = _world(slots=(1,), service_time=3.0, queue_limit=1)
+    seen = []
+    ctl.observers.append(lambda kind, **kw: seen.append(kind))
+
+    def scenario():
+        ctl.offer(_spec("a"))   # offer + acquire + admit
+        ctl.offer(_spec("b"))   # offer (queues)
+        ctl.offer(_spec("c"))   # offer + reject (bound=1)
+        yield env.timeout(0.0)
+
+    env.process(scenario())
+    env.run(until=30.0)
+    assert seen.count("offer") == 3
+    assert seen.count("reject") == 1
+    assert seen.count("admit") == seen.count("acquire") == 2
+    assert seen.count("release") == 2
+
+
 def test_depth_integral_tracks_queueing():
     env, driver, ctl = _world(slots=(1,), service_time=4.0, queue_limit=8)
     ctl.feed(TraceArrivals([0.0, 0.0, 0.0], suite=[_spec("p")], prefix="e"))

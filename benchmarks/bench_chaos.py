@@ -156,7 +156,7 @@ def test_chaos_fault_matrix(benchmark, reporter):
             }
             for name, (rep, ver, wall) in results.items()
         },
-    })
+    }, wall_seconds=sum(wall for (_r, _v, wall) in results.values()))
 
 
 def test_chaos_smoke(reporter):

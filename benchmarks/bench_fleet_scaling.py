@@ -16,8 +16,8 @@ import os
 import time
 
 from benchmarks.conftest import run_once, write_json
-from repro.fleet import FleetDriver, fleet_of
 from repro.ogsa import RegistryService
+from repro.perf.gate import run_fleet
 
 #: fleet sizes of the scaling series (override for smoke runs)
 FLEET_SIZES = tuple(
@@ -26,19 +26,20 @@ FLEET_SIZES = tuple(
 
 
 def _run_fleet(n_sessions: int):
-    specs = fleet_of(n_sessions, stagger=0.2)
-    t0 = time.perf_counter()
-    driver = FleetDriver(specs, n_sites=4)
-    report = driver.run(wall_seconds=None)
-    report.wall_seconds = time.perf_counter() - t0
-    return report
+    # One scenario definition shared with the CI regression gate, so the
+    # committed baseline and the gate's measurement can never drift.
+    report, wall, events = run_fleet(n_sessions)
+    report.wall_seconds = wall
+    return report, events
 
 
 def test_fleet_scaling(benchmark, reporter):
     def sweep():
         return {n: _run_fleet(n) for n in FLEET_SIZES}
 
-    results = run_once(benchmark, sweep)
+    raw = run_once(benchmark, sweep)
+    results = {n: rep for n, (rep, _ev) in raw.items()}
+    events = sum(ev for _rep, ev in raw.values())
     rows = []
     for n, rep in sorted(results.items()):
         rows.append(rep.summary_row() + [f"{rep.wall_seconds:.2f}"])
@@ -52,6 +53,8 @@ def test_fleet_scaling(benchmark, reporter):
     write_json(
         "BENCH_fleet_scaling.json",
         {str(n): rep.to_dict() for n, rep in sorted(results.items())},
+        wall_seconds=sum(rep.wall_seconds for rep in results.values()),
+        events=events,
     )
     for n, rep in results.items():
         # Every admitted session must complete with zero steering timeouts.
@@ -68,7 +71,7 @@ def test_fleet_scaling(benchmark, reporter):
 
 def test_fleet_smoke(reporter):
     """CI smoke: one session end-to-end through the whole fabric."""
-    rep = _run_fleet(1)
+    rep, _events = _run_fleet(1)
     reporter.note(
         f"FLEET smoke: {rep.completed}/1 completed, "
         f"p50={rep.steer_p50 * 1e3:.1f}ms wall={rep.wall_seconds:.2f}s"

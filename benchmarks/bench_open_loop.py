@@ -101,9 +101,11 @@ def test_open_loop_saturation_sweep(benchmark, reporter):
     assert (again.offered, again.admitted, again.wait_p99) == (
         under.offered, under.admitted, under.wait_p99
     )
-    write_json("BENCH_open_loop.json", {
-        "sweep": {k: rep.to_dict() for k, rep in results.items()},
-    })
+    write_json(
+        "BENCH_open_loop.json",
+        {"sweep": {k: rep.to_dict() for k, rep in results.items()}},
+        wall_seconds=sum(rep.wall_seconds for rep in results.values()),
+    )
 
 
 def test_open_loop_autoscaler_lowers_wait(benchmark, reporter):
@@ -129,9 +131,11 @@ def test_open_loop_autoscaler_lowers_wait(benchmark, reporter):
     assert elastic.admitted > fixed.admitted
     # The scaler also drained back down once the rush passed.
     assert elastic.scale_downs > 0
-    write_json("BENCH_open_loop_autoscale.json", {
-        k: rep.to_dict() for k, rep in results.items()
-    })
+    write_json(
+        "BENCH_open_loop_autoscale.json",
+        {k: rep.to_dict() for k, rep in results.items()},
+        wall_seconds=sum(rep.wall_seconds for rep in results.values()),
+    )
 
 
 def test_open_loop_smoke(reporter):

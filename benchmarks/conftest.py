@@ -7,21 +7,36 @@ pytest's output capture.  EXPERIMENTS.md is written from those tables.
 
 from __future__ import annotations
 
-import json
 import pathlib
+from typing import Optional
 
 import pytest
+
+from repro.perf.bench import write_bench
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 
 
-def write_json(name: str, payload) -> pathlib.Path:
+def write_json(
+    name: str,
+    payload,
+    wall_seconds: Optional[float] = None,
+    events: Optional[int] = None,
+) -> pathlib.Path:
     """Persist machine-readable bench results (BENCH_*.json) next to the
     benches; these are committed so the perf trajectory is diffable
-    across PRs."""
+    across PRs.
+
+    Every bench registers with the unified :mod:`repro.perf` runner
+    through this single entry point: the payload lands under
+    ``results`` inside the uniform envelope (wall seconds, events,
+    events/sec, peak RSS), so one schema covers the whole suite.
+    """
     path = pathlib.Path(__file__).parent / name
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    bench_name = name.removeprefix("BENCH_").removesuffix(".json")
+    return write_bench(
+        path, bench_name, payload, wall_seconds=wall_seconds, events=events
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -13,11 +13,33 @@ Design notes
 * Failed events must be consumed.  If a failed event is processed and no
   waiter "defused" it, the exception propagates out of ``run()`` — silent
   failure of a simulated component would otherwise be invisible.
+
+Hot-path notes (the fleet pushes millions of events through this file)
+----------------------------------------------------------------------
+* Every event class carries ``__slots__``: the kernel allocates one event
+  per timeout/park/resume, and instance dicts double both the allocation
+  cost and the memory traffic.
+* :meth:`Environment.timeout` recycles retired :class:`Timeout` objects
+  through a small free pool.  The dominant pattern — a process yields a
+  bare timeout and is resumed by it — leaves the event unreachable the
+  moment the process resumes, so :meth:`Environment.step` returns it to
+  the pool instead of the garbage collector.  Only timeouts whose single
+  callback was a process resume are recycled; anything a condition, a
+  delivery lambda, or user code might still hold is left alone.
+* :meth:`Process.interrupt` does not remove the stale resume callback
+  from the abandoned target (an O(n) ``list.remove``); it clears the
+  process's ``_target`` and :meth:`Process._resume` drops events that are
+  no longer the current target (tombstoning).
+* ``_pending_failures`` is a deque: failures surface FIFO via
+  ``popleft`` instead of ``list.pop(0)``.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
+from sys import getrefcount
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -29,6 +51,10 @@ _PENDING = object()
 URGENT = 0
 NORMAL = 1
 
+#: Upper bound on the recycled-timeout pool; beyond this, retired
+#: timeouts go to the garbage collector like any other object.
+_TIMEOUT_POOL_MAX = 4096
+
 
 class Event:
     """An occurrence at a point in virtual time, with callbacks.
@@ -37,6 +63,8 @@ class Event:
     processes the event.  After processing, ``callbacks`` is ``None`` and
     further ``succeed``/``fail`` calls are errors.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -56,18 +84,18 @@ class Event:
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return bool(self._ok)
 
     @property
     def value(self) -> Any:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -77,7 +105,7 @@ class Event:
     def fail(self, exception: BaseException) -> "Event":
         if not isinstance(exception, BaseException):
             raise TypeError("fail() needs an exception instance")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
@@ -96,6 +124,8 @@ class Event:
 class Timeout(Event):
     """Event that triggers ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
@@ -109,11 +139,14 @@ class Timeout(Event):
 class Initialize(Event):
     """Urgent event used internally to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._cb)
+        process._target = self
         env._enqueue(self, URGENT)
 
 
@@ -128,12 +161,14 @@ class Interrupt(Exception):
 class _InterruptEvent(Event):
     """Urgent failed event carrying an Interrupt into the target process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
         super().__init__(env)
         self._ok = False
         self._value = Interrupt(cause)
         self.defused = True
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._cb)
         env._enqueue(self, URGENT)
 
 
@@ -145,12 +180,16 @@ class Process(Event):
     some other process is waiting on it).
     """
 
+    __slots__ = ("_generator", "_target", "_cb")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process target {generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        #: the bound resume callback, created once instead of per park
+        self._cb = self._resume
         Initialize(env, self)
 
     @property
@@ -158,38 +197,49 @@ class Process(Event):
         return not self.triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The abandoned target keeps its (now stale) resume callback — a
+        tombstone — which :meth:`_resume` ignores because the event is no
+        longer the process's ``_target``.  This avoids the O(n)
+        ``callbacks.remove`` a busy event would otherwise pay.
+        """
+        if self._value is not _PENDING:
             raise SimulationError("cannot interrupt a finished process")
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
         self._target = None
         _InterruptEvent(self.env, self, cause)
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        # Tombstone check: an event that is no longer the park target was
+        # abandoned by interrupt(); drop its callback silently.  Interrupt
+        # events themselves always land (several may be in flight).
+        if event is not self._target and type(event) is not _InterruptEvent:
+            return
+        self._target = None
+        env = self.env
+        env._active_process = self
+        gen = self._generator
+        send = gen.send
+        throw = gen.throw
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The waiter (this process) takes responsibility.
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = throw(event._value)
             except StopIteration as stop:
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
             if not isinstance(next_event, Event):
-                self.env._active_process = None
+                env._active_process = None
                 err = SimulationError(
                     f"process yielded non-event {next_event!r}; yield "
                     "env.timeout(...), store.get(), or another event"
@@ -199,14 +249,19 @@ class Process(Event):
 
             if next_event.callbacks is not None:
                 # Not yet processed: park until it is.
-                next_event.callbacks.append(self._resume)
+                next_event.callbacks.append(self._cb)
                 self._target = next_event
                 break
             # Already processed: consume its value immediately and keep
             # driving the generator without returning to the scheduler.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
+
+
+#: ``Process._resume`` unbound, used by the recycler to recognise
+#: retire-on-resume timeouts without touching attribute machinery.
+_PROCESS_RESUME = Process._resume
 
 
 class Condition(Event):
@@ -217,6 +272,8 @@ class Condition(Event):
     sub-event fails before the condition is decided, the condition fails
     with that exception.
     """
+
+    __slots__ = ("events", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -238,7 +295,7 @@ class Condition(Event):
         raise NotImplementedError
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             if not event._ok and not event.defused:
                 # Condition already decided; don't swallow the failure.
                 event.defused = True
@@ -256,11 +313,13 @@ class Condition(Event):
         # Only events that have actually been *processed* count; a Timeout
         # carries its value from creation, so `triggered` would wrongly
         # include timers that have not fired yet.
-        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+        return {ev: ev._value for ev in self.events if ev.callbacks is None and ev._ok}
 
 
 class AnyOf(Condition):
     """Triggers as soon as one sub-event triggers (the VISIT timeout race)."""
+
+    __slots__ = ()
 
     def _evaluate(self, n_triggered: int) -> bool:
         return n_triggered >= 1
@@ -268,6 +327,8 @@ class AnyOf(Condition):
 
 class AllOf(Condition):
     """Triggers once every sub-event has triggered."""
+
+    __slots__ = ()
 
     def _evaluate(self, n_triggered: int) -> bool:
         return n_triggered >= len(self.events)
@@ -281,21 +342,68 @@ class Environment:
         self._heap: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
-        self._pending_failures: list[BaseException] = []
+        self._pending_failures: deque[BaseException] = deque()
+        #: retired Timeout objects awaiting reuse (see module docstring)
+        self._timeout_pool: list[Timeout] = []
+        #: total events processed since construction (profiling/benching)
+        self.events_processed = 0
+        #: optional :class:`repro.perf.Profiler` receiving step timings
+        self._profiler = None
 
     # -- scheduling ----------------------------------------------------
 
     def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        heappush(self._heap, (self.now + delay, priority, self._seq, event))
 
     # -- event factories -----------------------------------------------
 
     def event(self) -> Event:
         return Event(self)
 
+    def _fresh_timeout(self, value: Any) -> Timeout:
+        """An unscheduled Timeout from the recycle pool (or a new one)."""
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = value
+            ev.defused = False
+        else:
+            ev = Timeout.__new__(Timeout)
+            ev.env = self
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev.defused = False
+        return ev
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """A timeout ``delay`` from now, drawn from the recycle pool."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        ev = self._fresh_timeout(value)
+        ev.delay = delay
+        self._seq += 1
+        heappush(self._heap, (self.now + delay, NORMAL, self._seq, ev))
+        return ev
+
+    def timeout_until(self, at: float, value: Any = None) -> Timeout:
+        """A timeout at *absolute* virtual time ``at`` (>= now).
+
+        ``timeout(at - now)`` schedules at ``now + (at - now)``, which is
+        not always float-identical to ``at``; processes replaying a
+        skipped poll grid (see the service pumps) need the exact heap key.
+        """
+        if at < self.now:
+            raise SimulationError(
+                f"timeout_until({at}) is in the past (now={self.now})"
+            )
+        ev = self._fresh_timeout(value)
+        ev.delay = at - self.now
+        self._seq += 1
+        heappush(self._heap, (at, NORMAL, self._seq, ev))
+        return ev
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -314,20 +422,73 @@ class Environment:
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("step() on an empty schedule")
-        time, _prio, _seq, event = heapq.heappop(self._heap)
+        time, _prio, _seq, event = heappop(heap)
         if time < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = time
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for cb in callbacks:
             cb(event)
+        self._finish_step(event, callbacks)
+
+    def _finish_step(self, event: Event, callbacks: list) -> None:
+        """Post-callback tail shared by the step variants: accounting,
+        failure surfacing, and timeout recycling."""
+        self.events_processed += 1
         if not event._ok and not event.defused:
             raise event._value
-        if self._pending_failures:
-            exc = self._pending_failures.pop(0)
-            raise exc
+        pending = self._pending_failures
+        if pending:
+            raise pending.popleft()
+        # Recycle the dominant delay-then-resume pattern: a timeout whose
+        # only watcher was a process resume is unreachable once that
+        # process moved on, so hand it back to the pool.
+        if (
+            type(event) is Timeout
+            and len(callbacks) == 1
+            and getattr(callbacks[0], "__func__", None) is _PROCESS_RESUME
+            and getrefcount(event) == 3
+        ):
+            # The refcount guard (3 = step's local + this frame's
+            # argument + getrefcount's argument) proves nothing else — a
+            # generator frame, a condition, user code — still holds the
+            # object, so a held timeout keeps its documented
+            # post-processing Event API instead of being reused under
+            # the holder's feet.
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_MAX:
+                pool.append(event)
+
+    def _step_profiled(self) -> None:
+        """Like :meth:`step`, with per-callback time attribution.
+
+        Kept separate so the unprofiled hot loop pays nothing for the
+        instrumentation.  Tolerates the profiler being detached mid-run:
+        remaining steps simply stop recording.
+        """
+        heap = self._heap
+        if not heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _prio, _seq, event = heappop(heap)
+        if time < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        prof = self._profiler
+        if prof is None:
+            for cb in callbacks:
+                cb(event)
+        else:
+            for cb in callbacks:
+                t0 = perf_counter()
+                cb(event)
+                prof._record(cb, event, perf_counter() - t0)
+        self._finish_step(event, callbacks)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the schedule drains, a deadline, or an event triggers.
@@ -337,14 +498,15 @@ class Environment:
           * a number — run until virtual time reaches it;
           * an :class:`Event` — run until it triggers, returning its value.
         """
+        step = self.step if self._profiler is None else self._step_profiled
         if isinstance(until, Event):
             stop = until
-            while not stop.triggered:
+            while stop._value is _PENDING:
                 if not self._heap:
                     raise SimulationError(
                         "schedule drained before the awaited event triggered"
                     )
-                self.step()
+                step()
             if not stop._ok:
                 stop.defused = True
                 raise stop._value
@@ -353,8 +515,9 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self.now:
             raise SimulationError(f"run(until={deadline}) is in the past (now={self.now})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        heap = self._heap
+        while heap and heap[0][0] <= deadline:
+            step()
         if deadline != float("inf"):
             self.now = deadline
         return None

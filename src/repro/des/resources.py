@@ -16,12 +16,16 @@ from repro.errors import SimulationError
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
 
@@ -33,6 +37,8 @@ class Store:
     infinite capacity (the default) puts succeed immediately, which is the
     common case for message mailboxes.
     """
+
+    __slots__ = ("env", "capacity", "items", "_put_waiters", "_get_waiters")
 
     def __init__(self, env: Environment, capacity: float = math.inf) -> None:
         if capacity <= 0:
@@ -88,6 +94,8 @@ class Store:
 
 
 class ResourceRequest(Event):
+    __slots__ = ("resource", "_released")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -99,6 +107,8 @@ class ResourceRequest(Event):
 
 class Resource:
     """Counting resource with FIFO queuing (e.g. CPU slots, render pipes)."""
+
+    __slots__ = ("env", "capacity", "users", "_queue")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -146,6 +156,8 @@ class Mailbox(Store):
     resolves to ``(ok, item)`` — the pattern used throughout the simulated
     middleware to honour VISIT's everything-has-a-timeout rule.
     """
+
+    __slots__ = ()
 
     def recv(self, timeout: Optional[float] = None):
         get = self.get()

@@ -16,34 +16,78 @@ from repro.util.stats import ReservoirSample, RunningStats
 
 
 class LatencyProbe:
-    """One latency series: streaming moments + a mergeable reservoir."""
+    """One latency series: streaming moments + a mergeable reservoir.
+
+    Observations are buffered and folded into the accumulators in one
+    tight batch when the probe is next *read* (merge, percentile, stats):
+    the steering loops record latencies mid-simulation, where per-event
+    accumulator math is pure hot-path overhead, while reads happen at
+    report time.  The flush replays the buffer in arrival order, so the
+    Welford moments and the reservoir's RNG sequence — and therefore
+    every reported number — are identical to unbuffered operation.
+    """
+
+    __slots__ = ("_stats", "_sample", "_buf")
 
     def __init__(self, reservoir: int = 128, seed: int = 0) -> None:
-        self.stats = RunningStats()
-        self.sample = ReservoirSample(capacity=reservoir, seed=seed)
+        self._stats = RunningStats()
+        self._sample = ReservoirSample(capacity=reservoir, seed=seed)
+        self._buf: list[float] = []
+
+    #: flush threshold: bounds buffer memory on long sweeps while still
+    #: amortizing the accumulator calls (results are order-identical
+    #: regardless of when the flush runs)
+    _BUF_MAX = 1024
 
     def add(self, dt: float) -> None:
-        self.stats.add(dt)
-        self.sample.add(dt)
+        buf = self._buf
+        buf.append(dt)
+        if len(buf) >= self._BUF_MAX:
+            self._flush()
+
+    def _flush(self) -> None:
+        buf = self._buf
+        if buf:
+            stats_add = self._stats.add
+            sample_add = self._sample.add
+            for x in buf:
+                stats_add(x)
+                sample_add(x)
+            buf.clear()
+
+    @property
+    def stats(self) -> RunningStats:
+        self._flush()
+        return self._stats
+
+    @property
+    def sample(self) -> ReservoirSample:
+        self._flush()
+        return self._sample
 
     def merge(self, other: "LatencyProbe") -> "LatencyProbe":
-        self.stats.merge(other.stats)
-        self.sample.merge(other.sample)
+        self._flush()
+        other._flush()
+        self._stats.merge(other._stats)
+        self._sample.merge(other._sample)
         return self
 
     def percentile(self, q: float) -> float:
         """Estimated q-th percentile (q in [0, 100]); NaN when empty."""
-        if self.stats.n == 0:
+        self._flush()
+        if self._stats.n == 0:
             return math.nan
-        return self.sample.percentile(q)
+        return self._sample.percentile(q)
 
     @property
     def n(self) -> int:
-        return self.stats.n
+        self._flush()
+        return self._stats.n
 
     @property
     def mean(self) -> float:
-        return self.stats.mean
+        self._flush()
+        return self._stats.mean
 
 
 class SessionTelemetry:

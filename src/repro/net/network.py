@@ -174,6 +174,9 @@ class Network:
         if log is not None:
             log.bind_clock(lambda: env.now)
         self.connect_attempts = 0
+        #: bumped whenever the link table changes; connections use it to
+        #: invalidate their cached Link objects
+        self._links_version = 0
         #: host pairs with no connectivity (WAN partition between sites)
         self._partitions: set[frozenset] = set()
         #: hosts cut off from everyone (site-wide outage)
@@ -207,6 +210,7 @@ class Network:
         rev = Link(b, a, latency, bandwidth)
         self._links[(a, b)] = fwd
         self._links[(b, a)] = rev
+        self._links_version += 1
         return fwd, rev
 
     def link(self, src: str, dst: str) -> Link:
@@ -258,6 +262,10 @@ class Network:
 
     def reachable(self, src: str, dst: str) -> bool:
         """Whether traffic can currently flow ``src -> dst``."""
+        if not self._partitions and not self._isolated:
+            # Unfaulted fabric: skip the per-send frozenset allocation —
+            # this is every message's fast path outside chaos windows.
+            return True
         if src == dst:
             return True  # loopback survives any WAN event
         if src in self._isolated or dst in self._isolated:

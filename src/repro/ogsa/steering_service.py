@@ -45,7 +45,8 @@ class SteeringService(GridService):
         self.app_link = app_link
         self.reply_timeout = reply_timeout
         self._seq = 0
-        self._waiters: dict[int, Any] = {}  # seq -> des Event
+        #: seq -> (des Event, wants_status)
+        self._waiters: dict[int, Any] = {}
         self.last_status: Optional[StatusReport] = None
         self.latest_sample: Optional[SampleMsg] = None
         self.samples_seen = 0
@@ -59,34 +60,52 @@ class SteeringService(GridService):
     # -- ingest loop --------------------------------------------------------------
 
     def _pump(self):
+        # The pump's poll cadence is observable: processing an ack chains
+        # straight into the service reply and its link reservation, so
+        # pumps sharing a poll instant must keep their stable relative
+        # order.  It therefore polls (no event-saving parking) while the
+        # application lives — but exits once the application acked Stop,
+        # because its control loop has returned and the link is silent
+        # forever after; polling to the run deadline would only burn
+        # events.
         env = self.env
+        link = self.app_link
+        poll = link.poll
+        app_done = False
         while True:
             progressed = False
             while True:
-                ok, msg = self.app_link.poll()
+                ok, msg = poll()
                 if not ok:
                     break
                 progressed = True
                 if isinstance(msg, Ack):
-                    waiter = self._waiters.pop(msg.seq, None)
-                    if waiter is not None and not waiter.triggered:
-                        waiter.succeed(msg)
+                    entry = self._waiters.pop(msg.seq, None)
+                    if entry is not None and not entry[0].triggered:
+                        entry[0].succeed(msg)
+                    if msg.ok and msg.command == "Stop":
+                        app_done = True
                 elif isinstance(msg, StatusReport):
                     self.last_status = msg
                     self.service_data["steered_parameters"] = sorted(
                         msg.parameters
                     )
                     # Status replies also answer pending GetStatus waiters.
-                    for seq, waiter in list(self._waiters.items()):
-                        if getattr(waiter, "_wants_status", False):
+                    for seq, entry in list(self._waiters.items()):
+                        if entry[1]:
                             del self._waiters[seq]
-                            if not waiter.triggered:
-                                waiter.succeed(msg)
+                            if not entry[0].triggered:
+                                entry[0].succeed(msg)
                 elif isinstance(msg, SampleMsg):
                     self.latest_sample = msg
                     self.samples_seen += 1
             # Poll at a fine grain; the pump is cheap in virtual time.
-            yield env.timeout(0.01 if not progressed else 0.0)
+            if progressed:
+                yield env.timeout(0.0)
+            elif app_done:
+                return
+            else:
+                yield env.timeout(0.01)
 
     def _command(self, msg, wants_status: bool = False):
         """Generator -> Ack/StatusReport: send a command, await its reply."""
@@ -94,8 +113,7 @@ class SteeringService(GridService):
         msg.seq = self._seq
         msg.sender = self.service_id
         waiter = self.env.event()
-        waiter._wants_status = wants_status
-        self._waiters[self._seq] = waiter
+        self._waiters[self._seq] = (waiter, wants_status)
         self.app_link.send(msg)
         timeout = self.env.timeout(self.reply_timeout)
         results = yield self.env.any_of([waiter, timeout])

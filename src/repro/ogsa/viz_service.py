@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import OgsaError
 from repro.ogsa.service import GridService, operation
+from repro.steering.api import parked_tick
 from repro.steering.control import SampleMsg
 from repro.viz import Camera, Renderer, compress_frame, isosurface
 
@@ -49,17 +50,27 @@ class VisualizationService(GridService):
 
     def _pump(self):
         env = self.env
+        link = self.sample_link
+        poll = link.poll
+        can_park = hasattr(link, "arrival")
         while True:
             progressed = False
             while True:
-                ok, msg = self.sample_link.poll()
+                ok, msg = poll()
                 if not ok:
                     break
                 progressed = True
                 if isinstance(msg, SampleMsg) and self.field_key in msg.data:
                     self.latest_field = np.asarray(msg.data[self.field_key])
                     self.latest_step = msg.step
-            yield env.timeout(0.01 if not progressed else 0.0)
+            # Idle pumps park on the link instead of burning empty poll
+            # events — virtual-time behaviour is identical (parked_tick).
+            if progressed:
+                yield env.timeout(0.0)
+            elif can_park:
+                yield from parked_tick(env, link, 0.01)
+            else:
+                yield env.timeout(0.01)
 
     # -- operations ------------------------------------------------------------
 

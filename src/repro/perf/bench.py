@@ -1,0 +1,91 @@
+"""Unified bench emission: every BENCH_*.json shares one envelope.
+
+PR-over-PR perf comparability requires every bench to record the same
+vitals the same way.  :func:`write_bench` wraps a bench's own payload in
+a uniform envelope::
+
+    {
+      "schema": "repro.perf/bench-v1",
+      "bench": "fleet_scaling",
+      "results": {...bench-specific payload...},
+      "perf": {
+        "wall_seconds": 5.93,
+        "events": 164107,
+        "events_per_sec": 27672.0,
+        "peak_rss_bytes": 123456789
+      }
+    }
+
+so the perf trajectory of the whole suite is diffable with one schema,
+and the CI gate (:mod:`repro.perf.gate`) can read any bench's baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, Optional
+
+BENCH_SCHEMA = "repro.perf/bench-v1"
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return int(rss) * (1 if sys.platform == "darwin" else 1024)
+
+
+def bench_envelope(
+    name: str,
+    results: Any,
+    wall_seconds: Optional[float] = None,
+    events: Optional[int] = None,
+) -> dict:
+    """The uniform document written for one bench."""
+    perf: dict[str, Any] = {"peak_rss_bytes": peak_rss_bytes()}
+    if wall_seconds is not None:
+        perf["wall_seconds"] = wall_seconds
+        if events is not None:
+            perf["events"] = events
+            perf["events_per_sec"] = (
+                events / wall_seconds if wall_seconds > 0 else 0.0
+            )
+    elif events is not None:
+        perf["events"] = events
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "results": results,
+        "perf": perf,
+    }
+
+
+def write_bench(
+    path: pathlib.Path | str,
+    name: str,
+    results: Any,
+    wall_seconds: Optional[float] = None,
+    events: Optional[int] = None,
+) -> pathlib.Path:
+    """Write one bench's uniform BENCH_*.json document."""
+    path = pathlib.Path(path)
+    doc = bench_envelope(
+        name, results, wall_seconds=wall_seconds, events=events
+    )
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: pathlib.Path | str) -> dict:
+    """Load a BENCH_*.json; accepts both the uniform envelope and the
+    pre-envelope bare-payload files (returned wrapped, results only)."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
+        return doc
+    return {"schema": None, "bench": None, "results": doc, "perf": {}}

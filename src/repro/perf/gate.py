@@ -1,0 +1,112 @@
+"""Perf regression gate: fail CI when the fleet-scaling wall regresses.
+
+Re-runs the canonical fleet-scaling scenario at one size through the
+unified runner and compares wall-clock against the committed
+``benchmarks/BENCH_fleet_scaling.json`` baseline.  A run slower than
+``baseline * (1 + threshold)`` exits non-zero — nothing can silently
+give the kernel speedup back.
+
+Correctness is gated too: the run must complete every session with the
+baseline's op count, so a "speedup" that drops work cannot pass.
+
+Usage::
+
+    python -m repro.perf.gate [--sessions 128] [--threshold 0.25]
+        [--baseline benchmarks/BENCH_fleet_scaling.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.perf.bench import load_bench
+
+
+#: the canonical fleet-scaling scenario — the *single* definition used by
+#: both this gate and ``benchmarks/bench_fleet_scaling.py``, so the
+#: measured scenario can never drift from the committed baseline's
+FLEET_STAGGER = 0.2
+FLEET_N_SITES = 4
+
+
+def run_fleet(n_sessions: int):
+    """Run the canonical fleet-scaling scenario at one size.
+
+    Returns ``(report, wall_seconds, events_processed)``.
+    """
+    from repro.fleet import FleetDriver, fleet_of
+
+    specs = fleet_of(n_sessions, stagger=FLEET_STAGGER)
+    t0 = time.perf_counter()
+    driver = FleetDriver(specs, n_sites=FLEET_N_SITES)
+    report = driver.run(wall_seconds=None)
+    wall = time.perf_counter() - t0
+    return report, wall, driver.env.events_processed
+
+
+def check(
+    baseline_path: pathlib.Path | str,
+    sessions: int = 128,
+    threshold: float = 0.25,
+) -> tuple[bool, str]:
+    """Run the gate; returns (ok, human-readable verdict)."""
+    doc = load_bench(baseline_path)
+    results = doc["results"]
+    key = str(sessions)
+    if key not in results:
+        return False, (
+            f"baseline {baseline_path} has no entry for {sessions} sessions "
+            f"(has {sorted(results)})"
+        )
+    base = results[key]
+    base_wall = base["wall_seconds"]
+    report, wall, events = run_fleet(sessions)
+
+    lines = [
+        f"fleet_scaling @ {sessions}: wall {wall:.2f}s vs baseline "
+        f"{base_wall:.2f}s (limit {base_wall * (1 + threshold):.2f}s, "
+        f"threshold +{threshold:.0%}), {events} events "
+        f"({events / wall:,.0f}/s)"
+    ]
+    ok = True
+    if report.completed != base["completed"] or report.ops != base["ops"]:
+        ok = False
+        lines.append(
+            f"FAIL: workload drifted — completed {report.completed} vs "
+            f"{base['completed']}, ops {report.ops} vs {base['ops']}"
+        )
+    if wall > base_wall * (1 + threshold):
+        ok = False
+        lines.append(
+            f"FAIL: wall-clock regressed {wall / base_wall - 1:+.0%} "
+            f"(> +{threshold:.0%} allowed)"
+        )
+    if ok:
+        lines.append("OK")
+    return ok, "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=128)
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument(
+        "--baseline",
+        default=str(
+            pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks" / "BENCH_fleet_scaling.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    ok, verdict = check(
+        args.baseline, sessions=args.sessions, threshold=args.threshold
+    )
+    print(verdict)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -22,6 +22,8 @@ class RunningStats:
     storing every sample.
     """
 
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
     def __init__(self) -> None:
         self.n = 0
         self._mean = 0.0
@@ -111,6 +113,8 @@ class P2Quantile:
     fewer than five observations the exact sample quantile is returned.
     """
 
+    __slots__ = ("q", "n", "_heights", "_pos", "_desired", "_dn")
+
     def __init__(self, q: float) -> None:
         if not 0.0 < q < 1.0:
             raise ValueError(f"quantile must be in (0, 1), got {q!r}")
@@ -183,6 +187,8 @@ class ReservoirSample:
     needs to aggregate per-session latency percentiles without keeping
     every observation.
     """
+
+    __slots__ = ("capacity", "n", "_rng", "_items")
 
     def __init__(self, capacity: int = 256, seed: int = 0) -> None:
         if capacity < 1:

@@ -206,6 +206,14 @@ def encoded_size(value: Any) -> int:
     return len(encode(value))
 
 
+#: (type, field-name tuple) -> constant envelope bytes for dataclass-like
+#: message objects: the struct overhead plus the cost of the field-name
+#: strings.  Control traffic (SYN/ACK/steer acks, status requests) re-walks
+#: identically-shaped messages thousands of times per run; only the field
+#: *values* can change, so the envelope is computed once per shape.
+_ENVELOPE_CACHE: dict[tuple, int] = {}
+
+
 def approx_size(value: Any) -> int:
     """Wire-size estimate that never fails.
 
@@ -232,7 +240,14 @@ def approx_size(value: Any) -> int:
         return 5 + sum(approx_size(v) for v in value)
     inner = getattr(value, "__dict__", None)
     if isinstance(inner, dict):
-        return 16 + approx_size(inner)
+        # 16 (object envelope) + 5 (struct header) + per-key name costs
+        # are constant per message shape; per-value costs are not.
+        key = (value.__class__, tuple(inner))
+        envelope = _ENVELOPE_CACHE.get(key)
+        if envelope is None:
+            envelope = 21 + sum(approx_size(str(k)) for k in inner)
+            _ENVELOPE_CACHE[key] = envelope
+        return envelope + sum(approx_size(v) for v in inner.values())
     return 64
 
 

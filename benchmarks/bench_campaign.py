@@ -1,0 +1,104 @@
+"""CAMPAIGN — the 12-cell smoke grid as one experiment-engine bench.
+
+Runs the ``smoke`` preset (2 scenario suites x 2 arrival shapes x 3
+fault schedules) through the campaign engine and reports the per-axis
+marginals the matrix layer derives — goodput, steering p90 and
+invariant violations by scenario, arrival and fault — plus the
+determinism property the whole layer stands on: the multiprocess run
+merges to the byte-identical MatrixReport of the serial one.
+
+Results land in ``BENCH_campaign.json`` (uniform perf envelope) so the
+campaign trajectory is diffable across PRs like every other bench.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import run_once, write_json
+from repro.campaign import CampaignRunner, MatrixReport, ResultStore, preset
+
+HEADER = ["axis", "point", "cells", "sessions", "goodput", "ops",
+          "violations", "steer p90 (ms)", "wait p90 (s)"]
+
+
+def _run(tmpdir, workers: int):
+    spec = preset("smoke")
+    store = ResultStore(tmpdir / f"smoke-w{workers}.jsonl")
+    runner = CampaignRunner(spec, store, workers=workers)
+    t0 = time.perf_counter()
+    matrix = runner.run()
+    wall = time.perf_counter() - t0
+    events = sum(
+        rec["perf"].get("events", 0) for rec in store.cell_records()
+    )
+    return matrix, wall, events
+
+
+def _marginal_rows(matrix: MatrixReport):
+    rows = []
+    for axis in ("scenario", "arrival", "faults"):
+        for name, agg in matrix.marginals[axis].items():
+            d = agg.to_dict()
+            rows.append([
+                axis, name, agg.cells, agg.sessions,
+                f"{agg.goodput:.0%}", agg.ops, agg.violations,
+                f"{d['steer_p90_ms']:.1f}", f"{d['wait_p90_s']:.2f}",
+            ])
+    return rows
+
+
+def test_campaign_matrix(benchmark, reporter, tmp_path):
+    def both():
+        serial = _run(tmp_path, workers=1)
+        parallel = _run(tmp_path, workers=2)
+        return serial, parallel
+
+    (matrix1, wall1, events), (matrix2, wall2, _) = run_once(benchmark, both)
+    reporter.table(
+        f"CAMPAIGN: smoke grid marginals ({matrix1.totals.cells} cells, "
+        f"seed {preset('smoke').seed}; serial {wall1:.1f}s, "
+        f"2 workers {wall2:.1f}s)",
+        HEADER,
+        _marginal_rows(matrix1),
+    )
+    # The engine's contract: full grid, zero invariant violations, and
+    # the 2-worker merge is byte-identical to the serial one.
+    assert matrix1.complete
+    assert matrix1.violations == 0
+    assert json.dumps(matrix1.to_dict(), sort_keys=True) == \
+        json.dumps(matrix2.to_dict(), sort_keys=True)
+    assert matrix1.render(per_cell=True) == matrix2.render(per_cell=True)
+    write_json(
+        "BENCH_campaign.json",
+        {
+            "serial_wall_seconds": wall1,
+            "two_worker_wall_seconds": wall2,
+            "matrix": matrix1.to_dict(),
+        },
+        wall_seconds=wall1 + wall2,
+        events=2 * events,
+    )
+
+
+def test_campaign_smoke(reporter, tmp_path):
+    """CI smoke: the 12-cell grid across 2 workers, resumably."""
+    matrix, wall, events = _run(tmp_path, workers=2)
+    reporter.note(
+        f"CAMPAIGN smoke: {matrix.totals.cells}/{matrix.expected_cells} "
+        f"cells, {matrix.totals.completed}/{matrix.totals.sessions} "
+        f"sessions completed, {matrix.violations} violations, "
+        f"wall {wall:.1f}s (2 workers)"
+    )
+    assert matrix.complete
+    assert matrix.totals.cells >= 12
+    assert matrix.violations == 0
+    assert matrix.totals.completed / matrix.totals.sessions >= 0.7
+    # Freshly generated every run (gitignored, unlike the committed
+    # baselines) so the CI artifact upload carries this run's numbers,
+    # not a copy of the repo's reference files.
+    write_json(
+        "BENCH_campaign_smoke.json",
+        {"matrix": matrix.to_dict()},
+        wall_seconds=wall,
+        events=events,
+    )

@@ -9,8 +9,6 @@ per-stage latencies of the steer -> see loop, against the 60 s human
 tolerance of section 4.4.
 """
 
-import numpy as np
-
 from benchmarks._wiring import wire_app_to_host
 from benchmarks.conftest import run_once
 from repro.ogsa import OgsiLiteContainer, ServiceConnection, SteeringService, VisualizationService

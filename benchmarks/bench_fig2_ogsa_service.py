@@ -6,12 +6,10 @@ find cost vs number of published services; (c) amortization — bind once,
 steer many times.
 """
 
-import numpy as np
-
 from benchmarks._wiring import wire_app_to_host
 from benchmarks.conftest import run_once
 from repro.des import Environment
-from repro.net import Network, SyncPipe
+from repro.net import Network
 from repro.ogsa import (
     HandleResolver,
     OgsaSteeringClient,

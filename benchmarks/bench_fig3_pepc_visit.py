@@ -10,7 +10,6 @@ import math
 import time
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.sims.pepc import (

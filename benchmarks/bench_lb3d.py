@@ -8,7 +8,6 @@ miscibility flips the mixture between mixed and demixed states.
 
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once

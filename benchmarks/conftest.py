@@ -30,7 +30,10 @@ def write_json(
     Every bench registers with the unified :mod:`repro.perf` runner
     through this single entry point: the payload lands under
     ``results`` inside the uniform envelope (wall seconds, events,
-    events/sec, peak RSS), so one schema covers the whole suite.
+    events/sec, peak RSS), so one schema covers the whole suite.  The
+    write is atomic (tmp + ``os.replace`` inside ``write_bench``), so a
+    bench run interrupted mid-write cannot truncate a committed baseline
+    the perf gate would later misread.
     """
     path = pathlib.Path(__file__).parent / name
     bench_name = name.removeprefix("BENCH_").removesuffix(".json")

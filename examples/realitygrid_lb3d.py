@@ -14,8 +14,6 @@ The full Figure 1 + Figure 2 pipeline on the simulated testbed:
 Run:  python examples/realitygrid_lb3d.py
 """
 
-import numpy as np
-
 from repro.ogsa import (
     HandleResolver,
     OgsaSteeringClient,

@@ -21,7 +21,6 @@ from repro.unicore import (
     Certificate,
     ExecuteTask,
     Gateway,
-    JobStatus,
     NetworkJobSupervisor,
     StageOut,
     TargetSystemInterface,

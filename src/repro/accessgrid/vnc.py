@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.errors import ChannelClosed, TimeoutExpired, VenueError
+from repro.errors import ChannelClosed, VenueError
 from repro.viz.compress import compress_frame, decompress_frame
 from repro.viz.framebuffer import FrameBuffer
 

@@ -1,0 +1,62 @@
+"""repro.campaign: parallel scenario-matrix campaigns over the testbed.
+
+The experiment engine that turns four independent subsystems into one
+systematic sweep.  The testbed accumulated four orthogonal scenario
+axes — workload suites (:mod:`repro.workloads` /
+:mod:`repro.fleet.spec`), arrival processes (:mod:`repro.load`), fault
+schedules (:mod:`repro.chaos`) and placement/autoscale policies — and
+this package explores their **cross product**:
+
+* :mod:`repro.campaign.spec` — the declarative :class:`CampaignSpec`
+  grid, with stable SHA-derived per-cell seeds so any cell reruns
+  byte-identically in isolation;
+* :mod:`repro.campaign.axes` — builders turning axis points into live
+  suites, arrival processes, fault schedules and policies;
+* :mod:`repro.campaign.runner` — :func:`run_cell` (one isolated world
+  per cell) and :class:`CampaignRunner` (a multiprocessing pool
+  streaming completions into the store);
+* :mod:`repro.campaign.store` — the resumable, atomically-written JSONL
+  :class:`ResultStore` (completed cells are skipped on restart);
+* :mod:`repro.campaign.matrix` — :class:`MatrixReport`, merging
+  per-cell fleet reports through the exact mergeable statistics into
+  per-axis marginals and a goodput/latency pareto front;
+* :mod:`repro.campaign.cli` — ``python -m repro.campaign``
+  (run / resume / report / diff).
+
+The quickest way in::
+
+    from repro.campaign import CampaignRunner, ResultStore, preset
+
+    spec = preset("smoke")
+    runner = CampaignRunner(spec, ResultStore("smoke.jsonl"), workers=4)
+    matrix = runner.run()
+    print(matrix.render())
+"""
+
+from repro.campaign.matrix import MatrixReport
+from repro.campaign.presets import PRESETS, nightly, preset, smoke
+from repro.campaign.runner import CampaignRunner, run_cell
+from repro.campaign.spec import (
+    AXES,
+    AxisPoint,
+    CampaignSpec,
+    CellSpec,
+    derive_seed,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "AXES",
+    "AxisPoint",
+    "CampaignSpec",
+    "CampaignRunner",
+    "CellSpec",
+    "MatrixReport",
+    "PRESETS",
+    "ResultStore",
+    "derive_seed",
+    "nightly",
+    "preset",
+    "run_cell",
+    "smoke",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.campaign ...``."""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

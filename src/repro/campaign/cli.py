@@ -1,0 +1,233 @@
+"""``python -m repro.campaign`` — run, resume, report and diff campaigns.
+
+Subcommands::
+
+    run     --preset smoke | --spec FILE [--store PATH] [--workers N]
+            [--seed S] [--per-cell] [--fail-on-violations]
+            [--bench-out PATH]
+    resume  --store PATH [--workers N] [--fail-on-violations]
+    report  --store PATH [--per-cell] [--json]
+    diff    STORE_A STORE_B
+
+``run`` against an existing store resumes it (the header must match the
+requested campaign — a different spec at the same path is refused).
+``resume`` needs no spec at all: the store's header carries the full
+campaign, so a cron job can restart whatever was interrupted.  The
+``--fail-on-violations`` exit contract is what the nightly workflow
+gates on: exit 1 when any cell reported a chaos invariant violation or
+the grid is incomplete.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.campaign.matrix import MatrixReport
+from repro.campaign.presets import PRESETS, preset
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.errors import CampaignError
+from repro.perf.bench import write_bench
+
+
+def _load_spec(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec is not None:
+        doc = json.loads(pathlib.Path(args.spec).read_text())
+        spec = CampaignSpec.from_dict(doc)
+        if args.seed is not None:
+            spec.seed = args.seed
+        return spec
+    return preset(args.preset, seed=args.seed)
+
+
+def _default_store(spec: CampaignSpec) -> pathlib.Path:
+    return pathlib.Path("campaign-results") / f"{spec.name}.jsonl"
+
+
+def _progress(record: dict) -> None:
+    report = record["report"]
+    verdict = record["verdict"]
+    wall = record["perf"].get("wall_seconds", 0.0)
+    flag = (
+        f"  !! {verdict['invariant_violations']} violations"
+        if verdict["invariant_violations"] else ""
+    )
+    print(
+        f"  cell {record['cell_id']}: "
+        f"{report['completed']}/{report['sessions']} completed, "
+        f"wall {wall:.2f}s{flag}",
+        flush=True,
+    )
+
+
+def _finish(
+    matrix: MatrixReport,
+    runner: CampaignRunner,
+    wall: float,
+    args: argparse.Namespace,
+) -> int:
+    print(matrix.render(per_cell=args.per_cell))
+    print(
+        f"ran {len(runner.executed)} cells "
+        f"({matrix.totals.cells - len(runner.executed)} resumed from "
+        f"{runner.store.path}), wall {wall:.1f}s, "
+        f"{runner.workers} worker(s)"
+    )
+    if args.bench_out:
+        events = sum(
+            rec["perf"].get("events", 0)
+            for rec in runner.store.cell_records()
+        )
+        path = write_bench(
+            pathlib.Path(args.bench_out),
+            f"campaign_{matrix.campaign}",
+            matrix.to_dict(),
+            wall_seconds=wall,
+            events=events,
+        )
+        print(f"bench envelope written to {path}")
+    if args.fail_on_violations:
+        if matrix.violations:
+            print(
+                f"FAIL: {matrix.violations} invariant violation(s) "
+                "across the grid",
+                file=sys.stderr,
+            )
+            return 1
+        if not matrix.complete:
+            print(
+                f"FAIL: grid incomplete "
+                f"({matrix.totals.cells}/{matrix.expected_cells} cells)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    store_path = args.store or _default_store(spec)
+    store = ResultStore(store_path)
+    runner = CampaignRunner(spec, store, workers=args.workers)
+    pending = len(runner.pending()) if store.header else spec.n_cells
+    print(
+        f"campaign {spec.name!r} seed {spec.seed}: {spec.n_cells} cells "
+        f"({pending} to run), {args.workers} worker(s), store {store_path}",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    matrix = runner.run(progress=_progress)
+    return _finish(matrix, runner, time.perf_counter() - t0, args)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    spec = store.spec()
+    runner = CampaignRunner(spec, store, workers=args.workers)
+    print(
+        f"resuming campaign {spec.name!r} seed {spec.seed} from "
+        f"{args.store}: {len(store)} cells done, "
+        f"{len(runner.pending())} to run",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    matrix = runner.run(progress=_progress)
+    return _finish(matrix, runner, time.perf_counter() - t0, args)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    matrix = MatrixReport.from_records(
+        store.cell_records(), spec=store.spec()
+    )
+    if args.json:
+        print(json.dumps(matrix.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(matrix.render(per_cell=args.per_cell))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    matrices = []
+    for path in (args.store_a, args.store_b):
+        store = ResultStore(path)
+        matrices.append(
+            MatrixReport.from_records(store.cell_records(),
+                                      spec=store.spec())
+        )
+    diff = matrices[0].diff(matrices[1])
+    print(MatrixReport.render_diff(diff))
+    return 1 if (diff["changed"] or diff["only_self"]
+                 or diff["only_other"]) else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="parallel scenario-matrix campaigns over the "
+                    "steering testbed",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run (or resume) a campaign grid")
+    run.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    run.add_argument("--spec", help="campaign spec JSON file "
+                                    "(overrides --preset)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the campaign seed")
+    run.add_argument("--store", default=None,
+                     help="results JSONL path "
+                          "(default campaign-results/<name>.jsonl)")
+    run.set_defaults(func=cmd_run)
+
+    resume = sub.add_parser(
+        "resume", help="finish an interrupted campaign from its store"
+    )
+    resume.add_argument("--store", required=True)
+    resume.set_defaults(func=cmd_resume)
+
+    for cmd in (run, resume):
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = inline)")
+        cmd.add_argument("--per-cell", action="store_true",
+                         help="print the per-cell table")
+        cmd.add_argument("--fail-on-violations", action="store_true",
+                         help="exit 1 on any chaos invariant violation "
+                              "or an incomplete grid")
+        cmd.add_argument("--bench-out", default=None,
+                         help="also write a BENCH_*.json envelope here")
+
+    report = sub.add_parser("report", help="render a stored campaign")
+    report.add_argument("--store", required=True)
+    report.add_argument("--per-cell", action="store_true")
+    report.add_argument("--json", action="store_true",
+                        help="emit the MatrixReport as JSON")
+    report.set_defaults(func=cmd_report)
+
+    diff = sub.add_parser(
+        "diff", help="compare two campaign stores cell by cell"
+    )
+    diff.add_argument("store_a")
+    diff.add_argument("store_b")
+    diff.set_defaults(func=cmd_diff)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # The downstream consumer (head, less ...) closed the pipe; the
+        # store is already consistent — every append was atomic.
+        sys.stderr.close()
+        return 0

@@ -1,0 +1,109 @@
+"""Named campaigns: the grids CI and the nightly sweep actually run.
+
+* ``smoke`` — 12 cells (2 scenario x 2 arrival x 3 fault x 1 policy),
+  sized so a CI job finishes the whole grid in well under a minute while
+  still crossing every subsystem: both workload suites, two traffic
+  shapes, a no-fault baseline against a compound outage and a seeded
+  random schedule.
+* ``nightly`` — 36 cells (2 x 3 x 3 x 2) at a longer horizon with
+  autoscaling in the policy axis; the scheduled workflow fails on any
+  invariant violation anywhere in the grid.
+
+Presets are functions so every call returns a fresh, independently
+mutable :class:`CampaignSpec` (callers may override the seed).
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import AxisPoint, CampaignSpec
+from repro.errors import CampaignError
+
+_SESSION_SHAPE = {"duration": 2.0, "cadence": 0.5, "participants": 1}
+
+_COMPOUND_FAULTS = [
+    {"kind": "site-outage", "at": 4.0, "site": 0, "duration": 20.0},
+    {"kind": "vbroker-crash", "at": 5.0, "broker": 0},
+]
+
+
+def smoke(seed: int = 11) -> CampaignSpec:
+    return CampaignSpec(
+        name="smoke",
+        seed=seed,
+        base={"n_sites": 3, "queue_slots": 2, "queue_limit": 12,
+              "horizon": 8.0},
+        scenarios=[
+            AxisPoint("paper-mix", {"suite": "paper", **_SESSION_SHAPE}),
+            AxisPoint("lb3d-pepc", {
+                "suite": "sweep",
+                "sims": ["lb3d", "pepc"],
+                "profiles": ["campus", "transatlantic"],
+                **_SESSION_SHAPE,
+            }),
+        ],
+        arrivals=[
+            AxisPoint("poisson-2x", {"kind": "poisson", "rate": 3.4}),
+            AxisPoint("flash-crowd", {
+                "kind": "flash", "base_rate": 1.0, "burst_rate": 6.0,
+                "burst_at": 2.0, "burst_duration": 2.0,
+            }),
+        ],
+        faults=[
+            AxisPoint("baseline"),
+            AxisPoint("outage+vbroker", {"faults": _COMPOUND_FAULTS}),
+            AxisPoint("random-3", {"random": {"n_faults": 3}}),
+        ],
+        policies=[
+            AxisPoint("least-loaded", {"placement": "least-loaded"}),
+        ],
+    )
+
+
+def nightly(seed: int = 2003) -> CampaignSpec:
+    return CampaignSpec(
+        name="nightly",
+        seed=seed,
+        base={"n_sites": 3, "queue_slots": 2, "queue_limit": 16,
+              "horizon": 15.0},
+        scenarios=[
+            AxisPoint("paper-mix", {"suite": "paper", **_SESSION_SHAPE}),
+            AxisPoint("full-sweep", {"suite": "sweep", **_SESSION_SHAPE}),
+        ],
+        arrivals=[
+            AxisPoint("poisson-2x", {"kind": "poisson", "rate": 3.4}),
+            AxisPoint("diurnal", {
+                "kind": "diurnal", "base_rate": 0.8, "amplitude": 4.0,
+                "period": 10.0,
+            }),
+            AxisPoint("flash-crowd", {
+                "kind": "flash", "base_rate": 1.0, "burst_rate": 8.0,
+                "burst_at": 4.0, "burst_duration": 3.0,
+            }),
+        ],
+        faults=[
+            AxisPoint("baseline"),
+            AxisPoint("outage+vbroker", {"faults": _COMPOUND_FAULTS}),
+            AxisPoint("random-4", {"random": {"n_faults": 4}}),
+        ],
+        policies=[
+            AxisPoint("least-loaded", {"placement": "least-loaded"}),
+            AxisPoint("p2c+autoscale", {
+                "placement": "p2c",
+                "autoscale": {"max_sites": 5},
+            }),
+        ],
+    )
+
+
+PRESETS = {"smoke": smoke, "nightly": nightly}
+
+
+def preset(name: str, seed: int | None = None) -> CampaignSpec:
+    try:
+        build = PRESETS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown campaign preset {name!r}; "
+            f"expected one of {sorted(PRESETS)}"
+        ) from None
+    return build() if seed is None else build(seed=seed)

@@ -1,0 +1,195 @@
+"""Cell execution: one fully-isolated fleet world per grid cell.
+
+:func:`run_cell` is the unit of work — a **pure function** from a
+:class:`~repro.campaign.spec.CellSpec` to a JSON-able record.  Each call
+builds a fresh DES world (fabric, broker pool, admission controller,
+chaos harness, arrival stream) from the cell's declarative coordinates
+and salted sub-seeds, runs it to completion, and freezes the outcome.
+Nothing escapes the call: two executions of the same cell — in the same
+process, in different worker processes, on different days — produce the
+same record byte for byte (wall-clock vitals live under ``perf`` and are
+the one deliberate exception).
+
+:class:`CampaignRunner` fans cells out over a ``multiprocessing`` pool
+and streams each completed record into the
+:class:`~repro.campaign.store.ResultStore` the moment it lands, so an
+interrupted campaign loses at most the cells in flight.  On restart the
+completed cells are skipped; per-cell seeding makes the union identical
+to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Optional
+
+from repro.campaign.axes import (
+    build_arrivals,
+    build_policy,
+    build_schedule,
+    build_suite,
+)
+from repro.campaign.matrix import MatrixReport
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import ResultStore
+from repro.chaos import ChaosHarness
+from repro.errors import CampaignError
+from repro.fleet import BrokerPool, FleetDriver
+from repro.load import AdmissionController, ReactiveAutoscaler
+from repro.perf.bench import bench_envelope
+
+#: fabric/run knobs every cell inherits unless its campaign or axis
+#: points override them (CampaignSpec.base / AxisPoint params["base"])
+DEFAULT_BASE = {
+    "n_sites": 3,
+    "queue_slots": 2,
+    "queue_limit": 12,
+    "registry_shards": 4,
+    "broker_port": 7100,
+    "horizon": 10.0,
+    #: drain budget after the last arrival; None = run to quiescence cap
+    "grace": 60.0,
+    #: hard virtual-time cap; None derives horizon + grace
+    "until": None,
+    "monitor_interval": 1.0,
+}
+
+
+def cell_config(cell: CellSpec) -> dict:
+    """The cell's effective base configuration (defaults + overrides)."""
+    config = dict(DEFAULT_BASE)
+    unknown = set(cell.base) - set(config)
+    if unknown:
+        raise CampaignError(
+            f"cell {cell.cell_id!r}: unknown base config keys "
+            f"{sorted(unknown)} (allowed: {sorted(config)})"
+        )
+    config.update(cell.base)
+    return config
+
+
+def run_cell(cell: CellSpec) -> dict:
+    """Execute one cell in a fresh world; returns its store record."""
+    t0 = time.perf_counter()
+    config = cell_config(cell)
+
+    driver = FleetDriver(
+        n_sites=int(config["n_sites"]),
+        queue_slots=int(config["queue_slots"]),
+        registry_shards=int(config["registry_shards"]),
+    )
+    pool = BrokerPool.build(
+        driver.net,
+        [site.svc_name for site in driver.sites],
+        port=int(config["broker_port"]),
+    )
+    placement, autoscale_kwargs = build_policy(
+        cell.policy, seed=cell.subseed("placement")
+    )
+    controller = AdmissionController(
+        driver,
+        placement=placement,
+        queue_limit=int(config["queue_limit"]),
+    )
+    world = ChaosHarness(
+        driver, controller, pool=pool,
+        monitor_interval=float(config["monitor_interval"]),
+    )
+
+    suite, overrides = build_suite(cell.scenario)
+    arrivals = build_arrivals(
+        cell.arrival, suite, overrides,
+        seed=cell.subseed("arrival"),
+        horizon=float(config["horizon"]),
+    )
+    world.install(build_schedule(cell.faults, cell, arrivals.horizon))
+    if autoscale_kwargs is not None:
+        ReactiveAutoscaler(controller, **autoscale_kwargs)
+
+    until = config["until"]
+    report = controller.run(
+        arrivals,
+        until=None if until is None else float(until),
+        grace=float(config["grace"]),
+    )
+    verdict = world.verdict(report)
+    wall = time.perf_counter() - t0
+
+    # perf vitals ride in the uniform bench envelope (wall, events,
+    # events/sec, peak RSS) — deliberately the only nondeterministic
+    # part of the record; MatrixReport never reads it.
+    envelope = bench_envelope(
+        cell.cell_id, None,
+        wall_seconds=wall, events=driver.env.events_processed,
+    )
+    return {
+        "kind": "cell",
+        "cell_id": cell.cell_id,
+        "index": cell.index,
+        "seed": cell.seed,
+        "coords": cell.coords,
+        "report": report.to_dict(),
+        "verdict": verdict,
+        "mergeable": driver.telemetry.export_mergeable(),
+        "perf": envelope["perf"],
+    }
+
+
+class CampaignRunner:
+    """Drive a campaign's incomplete cells through a worker pool.
+
+    ``workers=1`` runs cells inline (no pool, no pickling) — the
+    reference execution the multi-process run must match byte for byte.
+    ``mp_context`` defaults to ``"spawn"`` so worker state is a function
+    of the CellSpec alone, never of what the parent happened to import
+    or mutate first.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: int = 1,
+        mp_context: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise CampaignError("campaign needs >= 1 worker")
+        self.spec = spec
+        self.store = store
+        self.workers = workers
+        self.mp_context = mp_context
+        #: cell ids executed (not resumed-over) by the last run() call
+        self.executed: list[str] = []
+
+    def pending(self) -> list[CellSpec]:
+        done = self.store.completed_ids()
+        return [c for c in self.spec.iter_cells() if c.cell_id not in done]
+
+    def run(
+        self, progress: Optional[Callable[[dict], None]] = None
+    ) -> MatrixReport:
+        """Execute every incomplete cell, then aggregate the full grid."""
+        self.store.ensure_header(self.spec)
+        todo = self.pending()
+        self.executed = [c.cell_id for c in todo]
+        if todo:
+            if self.workers == 1:
+                for cell in todo:
+                    record = run_cell(cell)
+                    self.store.append(record)
+                    if progress is not None:
+                        progress(record)
+            else:
+                ctx = multiprocessing.get_context(self.mp_context)
+                with ctx.Pool(processes=self.workers) as pool:
+                    # Stream: every completion is persisted immediately,
+                    # in completion order — the store is the checkpoint,
+                    # MatrixReport re-sorts by cell id.
+                    for record in pool.imap_unordered(run_cell, todo):
+                        self.store.append(record)
+                        if progress is not None:
+                            progress(record)
+        return MatrixReport.from_records(
+            self.store.cell_records(), spec=self.spec
+        )

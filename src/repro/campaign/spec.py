@@ -1,0 +1,246 @@
+"""Declarative scenario-matrix campaigns: the grid, not the point.
+
+The ROADMAP's north star demands "as many scenarios as you can imagine"
+explored *systematically*.  The testbed already has four orthogonal
+scenario axes — workload suites (:mod:`repro.workloads` /
+:mod:`repro.fleet.spec`), arrival processes (:mod:`repro.load.arrivals`),
+fault schedules (:mod:`repro.chaos.faults`) and placement/autoscale
+policies (:mod:`repro.load.placement` / :mod:`repro.load.autoscale`) —
+but until now every bench hand-picked a handful of combinations.  A
+:class:`CampaignSpec` declares the **cross product**: one
+:class:`AxisPoint` list per axis, and every combination becomes a
+:class:`CellSpec` with a deterministic identity and seed.
+
+Determinism is the load-bearing property.  A cell's seed is a stable
+hash (SHA-256, not Python's randomized ``hash``) of the campaign seed
+and the cell's coordinates, so
+
+* the same campaign always enumerates the same cells with the same
+  seeds, in the same order;
+* any single cell can be re-run **in isolation** — on another machine,
+  in another process, weeks later — and reproduce its original run
+  byte for byte;
+* adding a point to one axis changes only the new cells' seeds, never
+  the existing ones (the seed depends on coordinates, not position).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import CampaignError
+
+#: axis order — also the order of coordinates inside a cell id
+AXES = ("scenario", "arrival", "faults", "policy")
+
+SPEC_SCHEMA = "repro.campaign/spec-v1"
+
+
+def derive_seed(seed: int, *parts: object) -> int:
+    """A stable 63-bit seed from a root seed and a coordinate path.
+
+    SHA-256 over the textual path, so the value is identical across
+    processes, platforms and Python versions (``hash()`` is neither).
+    Used twice: campaign seed + cell id -> cell seed, and cell seed +
+    salt ("arrival", "faults", "placement") -> per-component sub-seeds,
+    so the axes draw from independent streams.
+    """
+    text = ":".join([str(seed), *(str(p) for p in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class AxisPoint:
+    """One named point on one axis: a label plus builder parameters.
+
+    The label is the cell-coordinate component (so it must be unique on
+    its axis and must not contain the ``/`` that joins coordinates into
+    cell ids); ``params`` are interpreted by the axis builders in
+    :mod:`repro.campaign.axes`.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise CampaignError(
+                f"axis point name {self.name!r} must be non-empty and "
+                "must not contain '/'"
+            )
+        if not isinstance(self.params, dict):
+            raise CampaignError(
+                f"axis point {self.name!r}: params must be a dict"
+            )
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AxisPoint":
+        if isinstance(doc, str):
+            return cls(doc)
+        return cls(doc["name"], dict(doc.get("params", {})))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the grid: four coordinates, a derived seed, and the
+    campaign-wide base configuration.  Fully picklable and JSON-able —
+    worker processes receive exactly this."""
+
+    campaign: str
+    cell_id: str
+    index: int
+    seed: int
+    scenario: AxisPoint
+    arrival: AxisPoint
+    faults: AxisPoint
+    policy: AxisPoint
+    base: dict = field(default_factory=dict)
+
+    @property
+    def coords(self) -> dict:
+        return {
+            "scenario": self.scenario.name,
+            "arrival": self.arrival.name,
+            "faults": self.faults.name,
+            "policy": self.policy.name,
+        }
+
+    def subseed(self, salt: str) -> int:
+        """An independent stream for one component of this cell."""
+        return derive_seed(self.seed, salt)
+
+
+@dataclass
+class CampaignSpec:
+    """The declarative campaign: four axes, a seed, shared base config.
+
+    ``base`` holds the fabric/run knobs every cell shares (``n_sites``,
+    ``queue_slots``, ``queue_limit``, ``until`` ...); any axis point may
+    override entries via a ``base`` key in its params (per-axis
+    overrides, applied in :data:`AXES` order so later axes win).
+    """
+
+    name: str
+    scenarios: Sequence[AxisPoint]
+    arrivals: Sequence[AxisPoint]
+    faults: Sequence[AxisPoint]
+    policies: Sequence[AxisPoint]
+    seed: int = 0
+    base: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("campaign needs a name")
+
+        def points(seq) -> list[AxisPoint]:
+            return [
+                p if isinstance(p, AxisPoint) else AxisPoint.from_dict(p)
+                for p in seq
+            ]
+
+        self.scenarios = points(self.scenarios)
+        self.arrivals = points(self.arrivals)
+        self.faults = points(self.faults)
+        self.policies = points(self.policies)
+        for axis, points in self.axis_points().items():
+            if not points:
+                raise CampaignError(f"axis {axis!r} needs at least one point")
+            names = [p.name for p in points]
+            if len(set(names)) != len(names):
+                raise CampaignError(
+                    f"axis {axis!r} has duplicate point names: {names}"
+                )
+
+    # -- the grid ------------------------------------------------------------
+
+    def axis_points(self) -> dict:
+        return {
+            "scenario": list(self.scenarios),
+            "arrival": list(self.arrivals),
+            "faults": list(self.faults),
+            "policy": list(self.policies),
+        }
+
+    @property
+    def n_cells(self) -> int:
+        n = 1
+        for points in self.axis_points().values():
+            n *= len(points)
+        return n
+
+    @staticmethod
+    def cell_id_of(scenario: AxisPoint, arrival: AxisPoint,
+                   faults: AxisPoint, policy: AxisPoint) -> str:
+        return "/".join((scenario.name, arrival.name, faults.name,
+                         policy.name))
+
+    def cells(self) -> list[CellSpec]:
+        """Enumerate the grid, deterministically: itertools.product in
+        declared axis-point order, seeds derived from coordinates."""
+        return list(self.iter_cells())
+
+    def iter_cells(self) -> Iterator[CellSpec]:
+        for index, (sc, ar, fa, po) in enumerate(
+            itertools.product(self.scenarios, self.arrivals, self.faults,
+                              self.policies)
+        ):
+            cell_id = self.cell_id_of(sc, ar, fa, po)
+            base = dict(self.base)
+            # Per-axis base overrides, later axes win.
+            for point in (sc, ar, fa, po):
+                base.update(point.params.get("base", {}))
+            yield CellSpec(
+                campaign=self.name,
+                cell_id=cell_id,
+                index=index,
+                seed=derive_seed(self.seed, cell_id),
+                scenario=sc,
+                arrival=ar,
+                faults=fa,
+                policy=po,
+                base=base,
+            )
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "base": dict(self.base),
+            "scenarios": [p.to_dict() for p in self.scenarios],
+            "arrivals": [p.to_dict() for p in self.arrivals],
+            "faults": [p.to_dict() for p in self.faults],
+            "policies": [p.to_dict() for p in self.policies],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignSpec":
+        schema = doc.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise CampaignError(
+                f"unsupported campaign spec schema {schema!r} "
+                f"(expected {SPEC_SCHEMA})"
+            )
+        try:
+            return cls(
+                name=doc["name"],
+                seed=int(doc.get("seed", 0)),
+                base=dict(doc.get("base", {})),
+                scenarios=[AxisPoint.from_dict(p) for p in doc["scenarios"]],
+                arrivals=[AxisPoint.from_dict(p) for p in doc["arrivals"]],
+                faults=[AxisPoint.from_dict(p) for p in doc["faults"]],
+                policies=[AxisPoint.from_dict(p) for p in doc["policies"]],
+            )
+        except KeyError as exc:
+            raise CampaignError(
+                f"campaign spec is missing required key {exc}"
+            ) from None

@@ -1,0 +1,162 @@
+"""The resumable campaign results store: one JSONL file per campaign.
+
+Line 1 is a header record carrying the full :class:`CampaignSpec` (and
+the store schema), every following line is one completed cell.  The
+invariants a long-running campaign leans on:
+
+* **atomic** — every append rewrites the file to a sibling ``.tmp`` and
+  ``os.replace``-s it over the original, so a killed run can never leave
+  a half-written record *behind* a committed one;
+* **resumable** — on restart the runner asks :meth:`completed_ids` and
+  re-executes only the cells that are missing (per-cell seeds make the
+  reruns byte-identical, so a resumed campaign equals an uninterrupted
+  one);
+* **tolerant of its own death** — a truncated *trailing* line (the
+  window between ``write`` and ``replace`` is empty, but an older
+  non-atomic writer, a full disk, or a torn copy can still produce one)
+  is dropped on load, surfaced via :attr:`dropped_lines`, and the cell
+  simply reruns.  A corrupt line *before* intact ones is refused loudly:
+  that is damage, not interruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Optional
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import CampaignError
+
+STORE_SCHEMA = "repro.campaign/store-v1"
+
+
+class ResultStore:
+    """Append-only JSONL store for one campaign's cell records."""
+
+    def __init__(self, path: pathlib.Path | str) -> None:
+        self.path = pathlib.Path(path)
+        self._header: Optional[dict] = None
+        self._cells: list[dict] = []
+        #: unparsable trailing lines discarded on load (0 or 1 normally)
+        self.dropped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    # -- loading -------------------------------------------------------------
+
+    def _load(self) -> None:
+        text = self.path.read_text()
+        lines = text.splitlines()
+        records = []
+        bad = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                bad.append(i)
+        if bad:
+            # Only a *trailing* torn line is interruption; anything
+            # earlier means the file was damaged and silently skipping
+            # it would mis-report the campaign.
+            if bad != [len(lines) - 1]:
+                raise CampaignError(
+                    f"{self.path}: corrupt non-trailing record(s) at "
+                    f"line(s) {[i + 1 for i in bad]}"
+                )
+            self.dropped_lines = len(bad)
+        if not records:
+            return
+        head, *cells = records
+        if head.get("kind") != "header" or head.get("schema") != STORE_SCHEMA:
+            raise CampaignError(
+                f"{self.path}: first record is not a "
+                f"{STORE_SCHEMA} header"
+            )
+        for rec in cells:
+            if rec.get("kind") != "cell" or "cell_id" not in rec:
+                raise CampaignError(
+                    f"{self.path}: non-cell record after the header"
+                )
+        self._header = head
+        self._cells = cells
+
+    # -- writing -------------------------------------------------------------
+
+    @staticmethod
+    def _dumps(record: dict) -> str:
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def _rewrite(self) -> None:
+        """Serialise everything we hold and atomically replace the file."""
+        lines = []
+        if self._header is not None:
+            lines.append(self._dumps(self._header))
+        lines.extend(self._dumps(rec) for rec in self._cells)
+        tmp = self.path.parent / (self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text("\n".join(lines) + "\n")
+        os.replace(tmp, self.path)
+
+    def ensure_header(self, spec: CampaignSpec) -> None:
+        """Write the header on first use; on resume, verify the stored
+        campaign is the one being run (name + seed + full spec)."""
+        doc = {
+            "kind": "header",
+            "schema": STORE_SCHEMA,
+            "campaign": spec.name,
+            "seed": spec.seed,
+            "spec": spec.to_dict(),
+        }
+        if self._header is None:
+            self._header = doc
+            self._rewrite()
+            return
+        if self._header.get("spec") != doc["spec"]:
+            raise CampaignError(
+                f"{self.path} already holds campaign "
+                f"{self._header.get('campaign')!r} (seed "
+                f"{self._header.get('seed')}); refusing to mix results "
+                f"with {spec.name!r} (seed {spec.seed}) — use a fresh "
+                "store path or matching spec"
+            )
+
+    def append(self, record: dict) -> None:
+        """Persist one completed cell (atomically, immediately)."""
+        if self._header is None:
+            raise CampaignError(
+                f"{self.path}: store has no header; call ensure_header "
+                "before appending cells"
+            )
+        if record.get("kind") != "cell" or "cell_id" not in record:
+            raise CampaignError("cell records need kind='cell' and cell_id")
+        if record["cell_id"] in self.completed_ids():
+            raise CampaignError(
+                f"{self.path}: duplicate cell record {record['cell_id']!r}"
+            )
+        self._cells.append(record)
+        self._rewrite()
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def header(self) -> Optional[dict]:
+        return self._header
+
+    def spec(self) -> CampaignSpec:
+        """Rebuild the campaign spec a store was recorded under."""
+        if self._header is None:
+            raise CampaignError(f"{self.path}: store has no header yet")
+        return CampaignSpec.from_dict(self._header["spec"])
+
+    def cell_records(self) -> list[dict]:
+        return list(self._cells)
+
+    def completed_ids(self) -> set:
+        return {rec["cell_id"] for rec in self._cells}
+
+    def __len__(self) -> int:
+        return len(self._cells)

@@ -21,7 +21,7 @@ trade-off:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.covise.dataobj import ImageData, PolygonData, ScalarField2D

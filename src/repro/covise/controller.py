@@ -13,7 +13,6 @@ object over through the shared data space for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.covise.crb import RequestBroker
 from repro.covise.datamgr import SharedDataSpace

@@ -11,7 +11,6 @@ through the request broker.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.covise.dataobj import DataObject
 from repro.errors import CoviseError

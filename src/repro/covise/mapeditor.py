@@ -9,7 +9,7 @@ so a collaborative session can replicate the same map on every site.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Callable
 
 from repro.covise.controller import Controller
 from repro.covise.modules import Module, PipelineError

@@ -97,6 +97,12 @@ class ChaosError(ReproError):
     conservation-law violation surfaced by ``assert_ok``."""
 
 
+class CampaignError(ReproError):
+    """Campaign layer failure: a malformed campaign spec or axis point,
+    a results store whose header does not match the campaign being
+    resumed, or a corrupt (non-trailing) store record."""
+
+
 class CoviseError(ReproError):
     """COVISE substrate failure (bad module wiring, missing data object)."""
 

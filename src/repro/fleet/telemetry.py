@@ -72,6 +72,18 @@ class LatencyProbe:
         self._sample.merge(other._sample)
         return self
 
+    def export(self) -> dict:
+        """JSON-able mergeable summary: exact Welford state plus the
+        reservoir's retained sample.  A campaign worker process ships
+        this through the results store; the aggregator rebuilds the
+        moments with :meth:`RunningStats.from_state` (exact merge) and
+        re-estimates percentiles from the pooled samples."""
+        self._flush()
+        return {
+            "stats": self._stats.state(),
+            "sample": list(self._sample.items),
+        }
+
     def percentile(self, q: float) -> float:
         """Estimated q-th percentile (q in [0, 100]); NaN when empty."""
         self._flush()
@@ -284,6 +296,20 @@ class FleetTelemetry:
 
     def merged_admit_latency(self) -> LatencyProbe:
         return self._merged("admit_latency")
+
+    def export_mergeable(self) -> dict:
+        """The fleet's latency series as JSON-able mergeable summaries
+        (:meth:`LatencyProbe.export`) — the report-merging hook the
+        campaign layer uses to aggregate cells across worker processes
+        without shipping raw sample streams."""
+        out = {
+            "steer": self.merged_steer_latency().export(),
+            "find": self.merged_find_latency().export(),
+            "admit": self.merged_admit_latency().export(),
+        }
+        if self.queue is not None:
+            out["wait"] = self.queue.wait.export()
+        return out
 
     def totals(self) -> dict:
         sessions = self.sessions.values()

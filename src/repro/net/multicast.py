@@ -9,7 +9,7 @@ virtual-reality sites.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro.des.resources import Mailbox
 from repro.errors import NetworkError

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import OgsaError, ServiceNotFound
+from repro.errors import ServiceNotFound
 from repro.ogsa.container import ServiceConnection
 from repro.ogsa.handles import GridServiceHandle, HandleResolver
 

@@ -10,7 +10,7 @@ are implemented here because the steering service genuinely uses them
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.errors import OgsaError
 

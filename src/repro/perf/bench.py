@@ -23,6 +23,7 @@ and the CI gate (:mod:`repro.perf.gate`) can read any bench's baseline.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 from typing import Any, Optional
@@ -73,12 +74,20 @@ def write_bench(
     wall_seconds: Optional[float] = None,
     events: Optional[int] = None,
 ) -> pathlib.Path:
-    """Write one bench's uniform BENCH_*.json document."""
+    """Write one bench's uniform BENCH_*.json document.
+
+    Atomically: the document lands in a sibling ``.tmp`` file first and
+    is ``os.replace``-d over the target, so an interrupted bench run can
+    never leave a truncated baseline for the CI perf gate to misread —
+    the committed JSON is always either the old document or the new one.
+    """
     path = pathlib.Path(path)
     doc = bench_envelope(
         name, results, wall_seconds=wall_seconds, events=events
     )
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    tmp = path.parent / (path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return path
 
 

@@ -16,8 +16,8 @@ redistributed to all other participants.  Viewers only receive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import SteeringError
 

@@ -9,7 +9,7 @@ OGSA service calls.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import ProtocolError
 

@@ -9,7 +9,7 @@ diagnostics), an optional numeric range, and a current value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 import numpy as np

@@ -8,7 +8,6 @@ has to bridge.
 
 from __future__ import annotations
 
-from typing import Any, Optional
 
 from repro.errors import TimeoutExpired, UnicoreError
 from repro.unicore.ajo import AbstractJobObject

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import ChannelClosed, IncarnationError, UnicoreError
 from repro.unicore.ajo import AbstractJobObject, ExecuteTask, StageIn, StageOut

@@ -11,7 +11,7 @@ server and launch *steered* applications that talk to it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from repro.des import Resource
 from repro.errors import IncarnationError, UnicoreError

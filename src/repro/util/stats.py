@@ -45,6 +45,35 @@ class RunningStats:
         for x in xs:
             self.add(x)
 
+    def state(self) -> dict:
+        """JSON-able snapshot of the accumulator.
+
+        Floats survive a JSON round trip exactly (repr-based encoding),
+        so ``from_state(json.loads(json.dumps(s.state())))`` merges
+        byte-identically to the original accumulator — the property the
+        campaign layer leans on to merge per-cell statistics recorded by
+        worker *processes* through the JSONL results store.
+        """
+        return {
+            "n": self.n,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": None if self.n == 0 else self.min,
+            "max": None if self.n == 0 else self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningStats":
+        """Rebuild an accumulator from :meth:`state` output."""
+        out = cls()
+        out.n = int(state["n"])
+        out._mean = float(state["mean"])
+        out._m2 = float(state["m2"])
+        if out.n:
+            out.min = float(state["min"])
+            out.max = float(state["max"])
+        return out
+
     def merge(self, other: "RunningStats") -> "RunningStats":
         """Fold another accumulator into this one, in place.
 
@@ -247,6 +276,13 @@ class ReservoirSample:
         if not self._items:
             raise ValueError("percentile of an empty reservoir")
         return percentile(self._items, q)
+
+    @property
+    def items(self) -> tuple:
+        """The retained sample, in reservoir order (deterministic for a
+        seeded stream) — the exportable half of the reservoir, used to
+        re-estimate percentiles after a cross-process merge."""
+        return tuple(self._items)
 
     def __len__(self) -> int:
         return len(self._items)

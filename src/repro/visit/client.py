@@ -18,7 +18,6 @@ from repro.errors import (
     ChannelClosed,
     NetworkError,
     TimeoutExpired,
-    VisitError,
 )
 from repro.visit.messages import (
     ConnectAck,

@@ -8,7 +8,7 @@ a header that describes what is requested."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ProtocolError

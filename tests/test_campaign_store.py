@@ -1,0 +1,110 @@
+"""The resumable JSONL results store: atomicity, resume, damage modes."""
+
+import json
+
+import pytest
+
+from repro.campaign import AxisPoint, CampaignSpec, ResultStore
+from repro.errors import CampaignError
+
+
+def tiny_spec(seed=3, name="t"):
+    return CampaignSpec(
+        name=name, seed=seed,
+        scenarios=[AxisPoint("s")], arrivals=[AxisPoint("a")],
+        faults=[AxisPoint("f")], policies=[AxisPoint("p")],
+    )
+
+
+def cell_record(cell_id, completed=1):
+    return {
+        "kind": "cell", "cell_id": cell_id, "index": 0, "seed": 1,
+        "coords": {"scenario": "s", "arrival": "a", "faults": "f",
+                   "policy": "p"},
+        "report": {"sessions": 1, "completed": completed, "failed": 0,
+                   "ops": 2, "timeouts": 0, "errors": 0,
+                   "steer_p90_ms": 1.0},
+        "verdict": {"invariant_violations": 0, "faults_applied": 0,
+                    "recovery": {"recovered": 0, "impacted": 0}},
+        "mergeable": {"steer": {"stats": {"n": 0, "mean": 0.0, "m2": 0.0,
+                                          "min": None, "max": None},
+                                "sample": []}},
+        "perf": {"wall_seconds": 0.1},
+    }
+
+
+def test_header_then_cells_atomic_no_tmp_left(tmp_path):
+    path = tmp_path / "c.jsonl"
+    store = ResultStore(path)
+    store.ensure_header(tiny_spec())
+    store.append(cell_record("s/a/f/p"))
+    assert not list(tmp_path.glob("*.tmp"))
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    head = json.loads(lines[0])
+    assert head["kind"] == "header" and head["campaign"] == "t"
+    assert json.loads(lines[1])["cell_id"] == "s/a/f/p"
+    # Reload sees the same state.
+    again = ResultStore(path)
+    assert again.completed_ids() == {"s/a/f/p"}
+    assert again.spec().to_dict() == tiny_spec().to_dict()
+
+
+def test_append_requires_header_and_refuses_duplicates(tmp_path):
+    store = ResultStore(tmp_path / "c.jsonl")
+    with pytest.raises(CampaignError):
+        store.append(cell_record("x"))
+    store.ensure_header(tiny_spec())
+    store.append(cell_record("x"))
+    with pytest.raises(CampaignError):
+        store.append(cell_record("x"))
+    with pytest.raises(CampaignError):
+        store.append({"kind": "cell"})  # no cell_id
+
+
+def test_torn_trailing_line_is_dropped_and_rerunnable(tmp_path):
+    path = tmp_path / "c.jsonl"
+    store = ResultStore(path)
+    store.ensure_header(tiny_spec())
+    store.append(cell_record("one"))
+    store.append(cell_record("two"))
+    # Simulate a kill mid-write by an interrupted (non-atomic) writer.
+    path.write_text(path.read_text() + '{"kind": "cell", "cell_id": "thr')
+    survivor = ResultStore(path)
+    assert survivor.dropped_lines == 1
+    assert survivor.completed_ids() == {"one", "two"}
+    # The store stays writable: the torn cell simply reruns.
+    survivor.append(cell_record("three"))
+    assert ResultStore(path).completed_ids() == {"one", "two", "three"}
+
+
+def test_corrupt_interior_line_is_refused(tmp_path):
+    path = tmp_path / "c.jsonl"
+    store = ResultStore(path)
+    store.ensure_header(tiny_spec())
+    store.append(cell_record("one"))
+    store.append(cell_record("two"))
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][:10]  # damage a *non*-trailing record
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(CampaignError, match="non-trailing"):
+        ResultStore(path)
+
+
+def test_header_mismatch_is_refused(tmp_path):
+    path = tmp_path / "c.jsonl"
+    store = ResultStore(path)
+    store.ensure_header(tiny_spec(seed=3))
+    with pytest.raises(CampaignError, match="refusing to mix"):
+        ResultStore(path).ensure_header(tiny_spec(seed=4))
+    with pytest.raises(CampaignError, match="refusing to mix"):
+        ResultStore(path).ensure_header(tiny_spec(name="other"))
+    # Matching spec resumes fine.
+    ResultStore(path).ensure_header(tiny_spec(seed=3))
+
+
+def test_headerless_file_is_refused(tmp_path):
+    path = tmp_path / "c.jsonl"
+    path.write_text(json.dumps(cell_record("x")) + "\n")
+    with pytest.raises(CampaignError, match="header"):
+        ResultStore(path)

@@ -24,7 +24,6 @@ from hypothesis import strategies as st
 
 from repro.chaos import ChaosHarness, FaultSchedule
 from repro.fleet import FleetDriver
-from repro.fleet.spec import ScenarioSpec
 from repro.load import AdmissionController, PoissonArrivals
 
 

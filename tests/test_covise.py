@@ -7,21 +7,16 @@ from repro.des import Environment
 from repro.errors import CoviseError
 from repro.covise import (
     CollaborativeCovise,
-    Controller,
     CuttingPlaneModule,
-    IsoSurfaceModule,
     MapEditor,
     PipelineError,
     PolygonData,
-    ReadSim,
-    RendererModule,
     RequestBroker,
     ScalarField2D,
     SharedDataSpace,
     UniformScalarField,
 )
 from repro.covise.dataobj import ImageData
-from repro.covise.stdmodules import Collect, Colors
 from repro.net import Network
 
 

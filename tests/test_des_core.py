@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des import AllOf, AnyOf, Environment, Interrupt, Mailbox, Resource, Store
+from repro.des import Environment, Interrupt, Mailbox, Resource, Store
 from repro.errors import SimulationError
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.des import AllOf, AnyOf, Environment, Store
+from repro.des import Environment, Store
 
 
 @settings(max_examples=60, deadline=None)

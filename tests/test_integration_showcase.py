@@ -4,11 +4,8 @@ These tests wire several subsystems together the way the SC'03 demos did,
 asserting on cross-cutting behaviour no unit test covers.
 """
 
-import numpy as np
-import pytest
-
 from repro.des import Environment
-from repro.net import Firewall, Network, SyncPipe
+from repro.net import Firewall, Network
 from repro.covise import MapEditor
 from repro.ogsa import (
     OgsiLiteContainer,

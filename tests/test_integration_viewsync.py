@@ -2,10 +2,9 @@
 state across sites, next to (not through) the heavyweight middleware."""
 
 import numpy as np
-import pytest
 
 from repro.des import Environment
-from repro.net import Network, SyncPipe
+from repro.net import SyncPipe
 from repro.steering import ControlStateServer
 from repro.steering.collab import StateUpdate
 from repro.viz import Camera, Renderer, Geometry, SceneGraph

@@ -1,7 +1,5 @@
 """Arrival processes: determinism, rates, shapes, spec minting."""
 
-import math
-
 import pytest
 
 from repro.errors import LoadError

@@ -1,6 +1,5 @@
 """OGSA layer tests: envelopes, handles, container, registry, services."""
 
-import numpy as np
 import pytest
 
 from repro.des import Environment

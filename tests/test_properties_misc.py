@@ -10,8 +10,6 @@ from repro.net import Network
 from repro.net.network import Link
 from repro.parallel import morton_key
 from repro.steering.control import (
-    Ack,
-    SampleMsg,
     SetParam,
     StatusReport,
     decode_message,

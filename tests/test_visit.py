@@ -14,7 +14,6 @@ from repro.visit import (
     decode_visit,
     encode_visit,
 )
-from repro.visit.messages import ConnectRequest, DataRequest, DataResponse
 
 TAG_PARTICLES = 1
 TAG_PARAMS = 2

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ReproError
-from repro.viz import Camera, FrameBuffer, Geometry, Renderer, SceneGraph
+from repro.viz import Camera, Geometry, Renderer, SceneGraph
 from repro.viz.isosurface import isosurface
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.des import Environment
 from repro.workloads import (
     CONFERENCE_FLOOR,
     DESKTOP_BUDGET,

@@ -1,0 +1,164 @@
+"""LIVE — the real-time control plane under seeded open-loop stress.
+
+Three numbers summarise whether "live" is viable on top of the DES
+fabric, and all three land in ``BENCH_live.json``:
+
+* **requests/s** — HTTP round trips the single-threaded asyncio server
+  sustains while the paced kernel runs underneath;
+* **admit latency p90** — the client-observed ``POST /sessions`` round
+  trip (socket + codec + synchronous admission + response);
+* **paced-kernel overhead** — wall cost of driving the same event
+  schedule through :class:`~repro.live.pacing.PacedRunner` in turbo
+  mode versus ``Environment.run()`` raw: the price of batching and
+  event-loop yields, which bounds how far behind a paced server can
+  fall before catch-up accounting fires.
+"""
+
+import asyncio
+import time
+
+from benchmarks.conftest import run_once, write_json
+from repro.des.core import Environment
+from repro.live.client import StressClient
+from repro.live.pacing import PacedRunner
+from repro.live.server import LiveServer
+
+#: enough schedule to dwarf the runner's fixed costs, small enough for CI
+OVERHEAD_EVENTS = 50_000
+STRESS_RATE = 40.0
+STRESS_SECONDS = 2.0
+
+
+def _tick_workload(env: Environment, n_procs: int, steps: int):
+    def gen():
+        for _ in range(steps):
+            yield env.timeout(1.0)
+
+    for _ in range(n_procs):
+        env.process(gen())
+    return n_procs * steps
+
+
+def _paced_overhead():
+    """(raw_wall, paced_wall, events) for the same tick schedule."""
+    steps = OVERHEAD_EVENTS // 50
+    raw_env = Environment()
+    _tick_workload(raw_env, 50, steps)
+    t0 = time.perf_counter()
+    raw_env.run(until=steps + 1.0)
+    raw_wall = time.perf_counter() - t0
+
+    paced_env = Environment()
+    events = _tick_workload(paced_env, 50, steps)
+    runner = PacedRunner(paced_env, rate=None)
+    t0 = time.perf_counter()
+    asyncio.run(runner.run(until=steps + 1.0))
+    paced_wall = time.perf_counter() - t0
+    assert paced_env.now == raw_env.now
+    return raw_wall, paced_wall, events
+
+
+def _stress():
+    """Seeded open-loop load against a fast-forwarded live server."""
+
+    async def go():
+        server = LiveServer(config={"rate": 10.0, "seed": 0})
+        await server.start()
+        try:
+            client = StressClient(
+                server.host,
+                server.port,
+                rate=STRESS_RATE,
+                duration=STRESS_SECONDS,
+                seed=1,
+                steer_every=5,
+            )
+            report = await client.run()
+        finally:
+            await server.shutdown(grace=60.0)
+        return report, server.statsz()
+
+    return asyncio.run(go())
+
+
+def _payload(report, stats, raw_wall, paced_wall, events):
+    pacing = stats["pacing"]
+    return {
+        "requests_per_sec": report["achieved_rps"],
+        "offered_rps": report["offered_rps"],
+        "requests": report["requests"],
+        "admitted": report["admitted"],
+        "rejected": report["rejected"],
+        "admit_latency_p50_ms": report["latency_p50"] * 1e3,
+        "admit_latency_p90_ms": report["latency_p90"] * 1e3,
+        "admit_latency_p99_ms": report["latency_p99"] * 1e3,
+        "paced_overhead": {
+            "events": events,
+            "raw_wall_seconds": raw_wall,
+            "paced_wall_seconds": paced_wall,
+            "ratio": paced_wall / raw_wall if raw_wall > 0 else 0.0,
+        },
+        "server_pacing": {
+            "ticks": pacing["ticks"],
+            "catchups": pacing["catchups"],
+            "max_behind": pacing["max_behind"],
+            "stepping_wall": pacing["stepping_wall"],
+            "events": pacing["events"],
+        },
+    }
+
+
+def test_live_control_plane(benchmark, reporter):
+    def both():
+        return _stress(), _paced_overhead()
+
+    (report, stats), (raw_wall, paced_wall, events) = run_once(benchmark, both)
+    ratio = paced_wall / raw_wall if raw_wall > 0 else 0.0
+    reporter.table(
+        f"LIVE: control plane under stress (seed {report['seed']}, "
+        f"{STRESS_SECONDS:.0f}s at {STRESS_RATE:.0f} rps offered)",
+        ["metric", "value"],
+        [
+            ["achieved rps", f"{report['achieved_rps']:.1f}"],
+            ["admitted / rejected", f"{report['admitted']} / {report['rejected']}"],
+            ["admit latency p50 (ms)", f"{report['latency_p50'] * 1e3:.2f}"],
+            ["admit latency p90 (ms)", f"{report['latency_p90'] * 1e3:.2f}"],
+            ["paced/raw kernel wall", f"{ratio:.2f}x over {events} events"],
+            ["server catchups", stats["pacing"]["catchups"]],
+        ],
+    )
+    assert report["errors"] == 0
+    assert report["requests"] > 0
+    write_json(
+        "BENCH_live.json",
+        _payload(report, stats, raw_wall, paced_wall, events),
+        wall_seconds=report["wall_seconds"] + raw_wall + paced_wall,
+        events=stats["pacing"]["events"] + 2 * events,
+    )
+
+
+def test_live_smoke(reporter):
+    """CI smoke: stress the server, measure pacing overhead, gate sanity."""
+    report, stats = _stress()
+    raw_wall, paced_wall, events = _paced_overhead()
+    reporter.note(
+        f"LIVE smoke: {report['requests']} requests "
+        f"({report['achieved_rps']:.1f} rps, {report['admitted']} admitted, "
+        f"{report['rejected']} rejected), admit p90 "
+        f"{report['latency_p90'] * 1e3:.1f}ms, paced/raw "
+        f"{paced_wall / raw_wall:.2f}x over {events} events"
+    )
+    # The paper's collaborative-steering loop budgets ~100ms of human
+    # latency; local HTTP admission must be far inside that.
+    assert report["errors"] == 0
+    assert report["latency_p90"] < 0.5
+    assert report["admitted"] > 0
+    # Turbo pacing may cost a few x raw stepping (yields + batching),
+    # but an order of magnitude means the runner is broken.
+    assert paced_wall < 10 * raw_wall + 0.5
+    write_json(
+        "BENCH_live.json",
+        _payload(report, stats, raw_wall, paced_wall, events),
+        wall_seconds=report["wall_seconds"] + raw_wall + paced_wall,
+        events=stats["pacing"]["events"] + 2 * events,
+    )

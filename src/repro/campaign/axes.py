@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.campaign.spec import AxisPoint, CellSpec
 from repro.chaos.faults import FAULT_KINDS, FaultSchedule
-from repro.errors import CampaignError
+from repro.errors import CampaignError, LiveError
 from repro.fleet.spec import ScenarioSpec, paper_suite, sweep_scenarios
 from repro.load.arrivals import (
     ArrivalProcess,
@@ -131,9 +131,31 @@ def build_arrivals(
                 f"arrival point {point.name!r}: trace needs 'instants'"
             ) from None
         return TraceArrivals(instants, horizon=horizon, **common, **params)
+    if kind == "trace-file":
+        # A live-captured trace replays the exact recorded sessions; the
+        # import is deferred because repro.live sits above this layer.
+        from repro.live.trace import load_trace
+
+        try:
+            path = params.pop("path")
+        except KeyError:
+            raise CampaignError(
+                f"arrival point {point.name!r}: trace-file needs 'path'"
+            ) from None
+        if params:
+            raise CampaignError(
+                f"arrival point {point.name!r}: unexpected trace-file "
+                f"params {sorted(params)}"
+            )
+        try:
+            return load_trace(path).arrival_process()
+        except LiveError as exc:
+            raise CampaignError(
+                f"arrival point {point.name!r}: {exc}"
+            ) from None
     raise CampaignError(
         f"arrival point {point.name!r}: unknown kind {kind!r} "
-        "(expected poisson, diurnal, flash or trace)"
+        "(expected poisson, diurnal, flash, trace or trace-file)"
     )
 
 

@@ -7,7 +7,7 @@ Subcommands::
             [--bench-out PATH]
     resume  --store PATH [--workers N] [--fail-on-violations]
     report  --store PATH [--per-cell] [--json]
-    diff    STORE_A STORE_B
+    diff    STORE_A STORE_B [--marginal-threshold T]
 
 ``run`` against an existing store resumes it (the header must match the
 requested campaign — a different spec at the same path is refused).
@@ -163,8 +163,15 @@ def cmd_diff(args: argparse.Namespace) -> int:
         )
     diff = matrices[0].diff(matrices[1])
     print(MatrixReport.render_diff(diff))
-    return 1 if (diff["changed"] or diff["only_self"]
-                 or diff["only_other"]) else 0
+    failed = bool(diff["changed"] or diff["only_self"]
+                  or diff["only_other"])
+    if args.marginal_threshold is not None:
+        drift = matrices[0].diff_marginals(
+            matrices[1], threshold=args.marginal_threshold
+        )
+        print(MatrixReport.render_marginals(drift))
+        failed = failed or bool(drift["exceeded"] or drift["missing"])
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("store_a")
     diff.add_argument("store_b")
+    diff.add_argument(
+        "--marginal-threshold", type=float, default=None,
+        help="also gate per-axis marginal drift (normalised fraction); "
+             "exit 1 when any marginal drifts beyond it",
+    )
     diff.set_defaults(func=cmd_diff)
     return parser
 

@@ -349,12 +349,26 @@ class Environment:
         self.events_processed = 0
         #: optional :class:`repro.perf.Profiler` receiving step timings
         self._profiler = None
+        #: optional zero-arg pacing hook fired whenever an event is
+        #: scheduled through :meth:`_enqueue` — process initialization,
+        #: ``succeed``/``fail`` and plain :class:`Timeout` construction,
+        #: i.e. every path external code (an HTTP handler between run
+        #: slices) uses to inject work.  A paced wall-clock driver
+        #: (:mod:`repro.live.pacing`) installs its waker here so a sleep
+        #: until the *previous* next-event time is cut short when new,
+        #: earlier work arrives.  The recycled-timeout fast paths
+        #: (:meth:`timeout` / :meth:`timeout_until`) deliberately skip
+        #: the hook: they are only reachable from processes already
+        #: running inside ``step()``, while the pacer is awake.
+        self.on_schedule: Optional[Callable[[], None]] = None
 
     # -- scheduling ----------------------------------------------------
 
     def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
         heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        if self.on_schedule is not None:
+            self.on_schedule()
 
     # -- event factories -----------------------------------------------
 
@@ -396,9 +410,7 @@ class Environment:
         skipped poll grid (see the service pumps) need the exact heap key.
         """
         if at < self.now:
-            raise SimulationError(
-                f"timeout_until({at}) is in the past (now={self.now})"
-            )
+            raise SimulationError(f"timeout_until({at}) is in the past (now={self.now})")
         ev = self._fresh_timeout(value)
         ev.delay = at - self.now
         self._seq += 1
@@ -503,9 +515,7 @@ class Environment:
             stop = until
             while stop._value is _PENDING:
                 if not self._heap:
-                    raise SimulationError(
-                        "schedule drained before the awaited event triggered"
-                    )
+                    raise SimulationError("schedule drained before the awaited event triggered")
                 step()
             if not stop._ok:
                 stop.defused = True

@@ -103,6 +103,11 @@ class CampaignError(ReproError):
     resumed, or a corrupt (non-trailing) store record."""
 
 
+class LiveError(ReproError):
+    """Live control-plane failure: a malformed or oversized HTTP request,
+    a paced-runner misconfiguration, or a corrupt arrival trace."""
+
+
 class CoviseError(ReproError):
     """COVISE substrate failure (bad module wiring, missing data object)."""
 

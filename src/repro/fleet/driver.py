@@ -139,6 +139,11 @@ class FleetDriver:
         #: lifecycle subscribers ``cb(kind, name, site_index)`` with kind
         #: in {"start", "complete", "fail", "cancel"}
         self.session_observers: list[Callable] = []
+        #: live steering overrides: session name -> FIFO of values the
+        #: session's next ``set_parameter`` ops consume instead of the
+        #: scripted schedule.  Batch runs never touch this, so the dict
+        #: stays empty and the scripted path is byte-identical.
+        self.steer_requests: dict[str, list] = {}
 
         if queue_slots is None:
             sessions_per_site = -(-len(specs) // n_sites) if specs else 8
@@ -325,6 +330,22 @@ class FleetDriver:
         proc.interrupt(reason)
         return True
 
+    def request_steer(self, name: str, value=None) -> bool:
+        """Queue a live steering override for a running session.
+
+        The session's next scripted ``set_parameter`` op sends ``value``
+        instead of its scheduled one (``None`` keeps the scheduled value,
+        acting as a steer *nudge* that still counts as externally
+        driven).  Overrides queue FIFO — one per steering op — so a
+        burst of client requests is applied in arrival order.  Returns
+        False when the session is not running.
+        """
+        proc = self.active.get(name)
+        if proc is None or proc.triggered:
+            return False
+        self.steer_requests.setdefault(name, []).append(value)
+        return True
+
     def degrade_session(self, name: str) -> None:
         """Tell a session to shed its remaining steering ops and wind
         down (the "degrade" recovery policy for limp-mode faults)."""
@@ -423,10 +444,14 @@ class FleetDriver:
                 t0 = env.now
                 try:
                     if k % 2 == 0:
+                        overrides = self.steer_requests.get(spec.name)
+                        value = overrides.pop(0) if overrides else None
+                        if value is None:
+                            value = spec.steer_value(k // 2)
                         yield from client.invoke(
                             steer, "set_parameter",
                             name=spec.steer_param,
-                            value=spec.steer_value(k // 2),
+                            value=value,
                         )
                     else:
                         yield from client.invoke(steer, "get_status")
@@ -466,6 +491,7 @@ class FleetDriver:
             uc.close()
             self.active.pop(spec.name, None)
             self.degraded.discard(spec.name)
+            self.steer_requests.pop(spec.name, None)
             self._notify_session(outcome, spec.name, site.index)
 
     def _observer(self, spec: ScenarioSpec, site: FleetSite, steer: str,

@@ -1,0 +1,49 @@
+"""repro.live: the real-time steering control plane.
+
+PR 5's campaign layer answers "what would happen" — batch matrices over
+virtual time.  This package answers "what is happening": the same
+fabric (:mod:`repro.fleet` + :mod:`repro.load` admission), run against
+the **wall clock** and steered over HTTP, with every arrival captured
+for deterministic batch replay:
+
+* :mod:`repro.live.pacing` — :class:`PacedRunner`, the wall-clock
+  driver for the DES kernel (paced / turbo modes, catch-up accounting,
+  graceful drain);
+* :mod:`repro.live.http` — a minimal stdlib HTTP/1.1 codec over asyncio
+  streams (sans-io core, hard size bounds);
+* :mod:`repro.live.server` — :class:`LiveServer`: ``POST /sessions``,
+  steer/cancel/status endpoints, 429 + Retry-After backpressure, trace
+  capture;
+* :mod:`repro.live.trace` — the JSONL arrival trace (atomic appends,
+  spec-complete records) and its lift into a one-cell campaign;
+* :mod:`repro.live.replay` — byte-identity replay through the campaign
+  runner;
+* :mod:`repro.live.client` — the seeded open-loop stress client.
+
+The quickest way in::
+
+    python -m repro.live record --trace /tmp/live.jsonl --rate 50 \
+        --duration 5 --port 7180 &
+    python -m repro.live stress --port 7180 --rate 20 --duration 3
+    python -m repro.live replay /tmp/live.jsonl --check
+"""
+
+from repro.live.client import StressClient, request
+from repro.live.pacing import PacedRunner
+from repro.live.replay import matrix_bytes, matrix_digest, replay_trace
+from repro.live.server import DEFAULT_CONFIG, LiveServer
+from repro.live.trace import TraceRecorder, load_trace, trace_campaign
+
+__all__ = [
+    "PacedRunner",
+    "LiveServer",
+    "DEFAULT_CONFIG",
+    "TraceRecorder",
+    "load_trace",
+    "trace_campaign",
+    "replay_trace",
+    "matrix_bytes",
+    "matrix_digest",
+    "StressClient",
+    "request",
+]

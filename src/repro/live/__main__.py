@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.live serve|record|replay|stress``."""
+
+import sys
+
+from repro.live.cli import main
+
+sys.exit(main())

@@ -1,0 +1,454 @@
+"""The live control plane: HTTP/JSON steering over the paced fabric.
+
+One :class:`LiveServer` owns exactly the stack a campaign cell builds —
+:class:`~repro.fleet.driver.FleetDriver` fabric, broker pool,
+:class:`~repro.load.admission.AdmissionController` with a placement
+policy and optional autoscaler — but drives it with a
+:class:`~repro.live.pacing.PacedRunner` instead of
+``Environment.run()``, and accepts sessions from the network instead of
+an arrival process:
+
+    POST   /sessions              offer a new steering session
+    GET    /sessions/{name}       session state + telemetry
+    POST   /sessions/{name}/steer queue a live parameter override
+    DELETE /sessions/{name}       cancel a running session
+    GET    /healthz               liveness probe
+    GET    /statsz                counters, pacing stats, backpressure
+
+Everything shares one asyncio thread: handlers mutate the DES world
+only between runner ticks, and each mutation lands on the kernel heap
+through ``Environment._enqueue``, whose ``on_schedule`` hook wakes the
+runner — so admission is a plain synchronous call, exactly the code
+path batch campaigns exercise.  A full admission queue answers **429**
+with a ``Retry-After`` derived from the queue's minimum remaining
+patience.  When a trace path is given, every offer (admitted or not)
+is recorded for deterministic replay (:mod:`repro.live.trace`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Optional
+
+from repro.campaign.spec import derive_seed
+from repro.errors import LiveError, ReproError, SteeringError
+from repro.fleet import BrokerPool, FleetDriver
+from repro.fleet.spec import ScenarioSpec, mint_spec
+from repro.live.http import (
+    MAX_HEAD_BYTES,
+    HttpError,
+    Request,
+    encode_response,
+    json_body,
+    read_request,
+)
+from repro.live.pacing import PacedRunner
+from repro.live.trace import TraceRecorder
+from repro.load import AdmissionController, ReactiveAutoscaler, make_policy
+
+#: fabric/pacing knobs; mirrors repro.campaign.runner.DEFAULT_BASE so a
+#: recorded trace replays on the fabric it was captured on
+DEFAULT_CONFIG = {
+    "n_sites": 3,
+    "queue_slots": 2,
+    "queue_limit": 12,
+    "registry_shards": 4,
+    "broker_port": 7100,
+    "placement": "least-loaded",
+    #: ReactiveAutoscaler kwargs, True for defaults, or None/False = off
+    "autoscale": None,
+    #: sim-seconds per wall-second; None = as fast as possible
+    "rate": 1.0,
+    "seed": 0,
+}
+
+#: POST /sessions body keys, passed through to the ScenarioSpec
+_SESSION_FIELDS = (
+    "sim",
+    "profile",
+    "participants",
+    "duration",
+    "cadence",
+    "compute_time",
+    "sample_interval",
+    "sim_args",
+)
+
+
+class LiveServer:
+    """Serve the steering fabric over HTTP against the wall clock."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[dict] = None,
+        trace_path=None,
+        max_tick: float = 0.05,
+    ) -> None:
+        merged = dict(DEFAULT_CONFIG)
+        unknown = set(config or ()) - set(merged)
+        if unknown:
+            raise LiveError(
+                f"unknown live config keys {sorted(unknown)} (allowed: {sorted(merged)})"
+            )
+        merged.update(config or {})
+        self.host = host
+        self.port = port
+        self.config = merged
+
+        driver = FleetDriver(
+            n_sites=int(merged["n_sites"]),
+            queue_slots=int(merged["queue_slots"]),
+            registry_shards=int(merged["registry_shards"]),
+        )
+        self.driver = driver
+        self.pool = BrokerPool.build(
+            driver.net,
+            [site.svc_name for site in driver.sites],
+            port=int(merged["broker_port"]),
+        )
+        self.controller = AdmissionController(
+            driver,
+            placement=make_policy(merged["placement"], seed=self._placement_seed(trace_path)),
+            queue_limit=int(merged["queue_limit"]),
+        )
+        autoscale = merged["autoscale"]
+        if autoscale not in (None, False):
+            kwargs = dict(autoscale) if isinstance(autoscale, dict) else {}
+            ReactiveAutoscaler(self.controller, **kwargs)
+        self.runner = PacedRunner(driver.env, rate=merged["rate"], max_tick=max_tick)
+
+        self.recorder: Optional[TraceRecorder] = None
+        if trace_path is not None:
+            self.recorder = TraceRecorder(trace_path, config=merged)
+        self.controller.observers.append(self._on_queue_event)
+        driver.session_observers.append(self._on_session_event)
+
+        #: every session ever offered: name -> latest lifecycle state
+        self.session_states: dict[str, str] = {}
+        self._counter = 0
+        self.stats = {
+            "requests": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "steers": 0,
+            "cancels": 0,
+            "bad_requests": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._run_task: Optional[asyncio.Task] = None
+
+    def _placement_seed(self, trace_path) -> int:
+        """The placement sub-seed the *replay* campaign cell will derive,
+        so seeded policies (p2c) make identical choices live and
+        replayed.  Mirrors ``trace_campaign`` + ``CellSpec.subseed``."""
+        seed = int(self.config["seed"])
+        if trace_path is None:
+            return derive_seed(seed, "placement")
+        import pathlib
+
+        cell_id = "/".join(
+            ("live", f"trace:{pathlib.Path(trace_path).stem}", "none", self.config["placement"])
+        )
+        return derive_seed(derive_seed(seed, cell_id), "placement")
+
+    # -- trace observers -----------------------------------------------
+
+    def _on_queue_event(self, kind: str, **detail) -> None:
+        spec = detail.get("spec")
+        name = spec.name if spec is not None else None
+        if kind in ("offer", "reject", "abandon", "admit") and name is not None:
+            self.session_states[name] = {
+                "offer": "queued",
+                "reject": "rejected",
+                "abandon": "abandoned",
+                "admit": "running",
+            }[kind]
+        if self.recorder is None:
+            return
+        if kind == "admit":
+            self.recorder.record_event(
+                "admit",
+                sim=self.driver.env.now,
+                wall=time.time(),
+                name=name,
+                cls=detail.get("cls"),
+                site=detail.get("site"),
+                wait=detail.get("wait"),
+            )
+        elif kind == "abandon":
+            self.recorder.record_event(
+                "abandon",
+                sim=self.driver.env.now,
+                wall=time.time(),
+                name=name,
+                cls=detail.get("cls"),
+            )
+
+    def _on_session_event(self, kind: str, name: str, site_index: int) -> None:
+        if kind in ("complete", "fail", "cancel"):
+            self.session_states[name] = {
+                "complete": "completed",
+                "fail": "failed",
+                "cancel": "cancelled",
+            }[kind]
+            if self.recorder is not None:
+                self.recorder.record_event(
+                    kind, sim=self.driver.env.now, wall=time.time(), name=name, site=site_index
+                )
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the paced kernel."""
+        if self._server is not None:
+            raise LiveError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_HEAD_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._run_task = asyncio.create_task(self.runner.run())
+
+    async def shutdown(self, grace: float = 60.0) -> dict:
+        """Stop accepting, drain the schedule, seal the trace."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._run_task is not None:
+            self.runner.stop()
+            await self._run_task
+            self._run_task = None
+        drain = await self.runner.finish(grace)
+        if self.recorder is not None:
+            self.recorder.close(sim=self.driver.env.now, wall=time.time())
+        return drain
+
+    async def serve_until(self, stop: asyncio.Event, grace: float = 60.0) -> dict:
+        """Convenience: start, wait for the stop signal, shut down."""
+        await self.start()
+        try:
+            await stop.wait()
+        finally:
+            return await self.shutdown(grace)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    self.stats["bad_requests"] += 1
+                    writer.write(
+                        encode_response(
+                            exc.status, json_body({"error": exc.detail}), keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload, extra = self._route(request)
+                writer.write(
+                    encode_response(
+                        status,
+                        json_body(payload),
+                        extra_headers=extra,
+                        keep_alive=request.keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(self, request: Request) -> tuple[int, dict, list]:
+        """Dispatch one request; synchronous on purpose — the DES world
+        is only ever touched between runner awaits."""
+        self.stats["requests"] += 1
+        try:
+            return self._dispatch(request)
+        except HttpError as exc:
+            self.stats["bad_requests"] += 1
+            return exc.status, {"error": exc.detail}, []
+        except (SteeringError, LiveError) as exc:
+            self.stats["bad_requests"] += 1
+            return 400, {"error": str(exc)}, []
+        except ReproError as exc:
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, []
+
+    def _dispatch(self, request: Request) -> tuple[int, dict, list]:
+        method, path = request.method, request.path
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, f"{method} {path}")
+            return 200, self._healthz(), []
+        if path == "/statsz":
+            if method != "GET":
+                raise HttpError(405, f"{method} {path}")
+            return 200, self.statsz(), []
+        if path == "/sessions":
+            if method != "POST":
+                raise HttpError(405, f"{method} {path}")
+            return self._post_session(request)
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "sessions":
+            name = parts[1]
+            if len(parts) == 2:
+                if method == "GET":
+                    return 200, self._get_session(name), []
+                if method == "DELETE":
+                    return self._delete_session(name)
+                raise HttpError(405, f"{method} {path}")
+            if len(parts) == 3 and parts[2] == "steer":
+                if method != "POST":
+                    raise HttpError(405, f"{method} {path}")
+                return self._steer_session(name, request)
+        raise HttpError(404, f"no route for {method} {path}")
+
+    # -- endpoints -------------------------------------------------------
+
+    def _healthz(self) -> dict:
+        return {
+            "ok": True,
+            "sim_now": self.driver.env.now,
+            "active": len(self.driver.active),
+            "queued": self.controller.queue_depth,
+        }
+
+    def statsz(self) -> dict:
+        queue = self.driver.telemetry.queue
+        return {
+            "server": dict(self.stats),
+            "sessions": {
+                "offered": self._counter,
+                "active": len(self.driver.active),
+                "states": dict(self.session_states),
+            },
+            "pacing": self.runner.stats(),
+            "backpressure": self.controller.backpressure(),
+            "queue": {
+                "offered": queue.offered,
+                "admitted": queue.admitted,
+                "rejected": queue.rejected,
+                "abandoned": queue.abandoned,
+            }
+            if queue is not None
+            else None,
+            "sites": len(self.driver.sites),
+            "config": dict(self.config),
+        }
+
+    def _retry_after_wall(self) -> int:
+        """The 429 Retry-After header, in whole wall seconds (>= 1)."""
+        sim = self.controller.retry_after()
+        rate = self.runner.rate
+        wall = 0.0 if rate is None else sim / rate
+        return max(1, math.ceil(wall))
+
+    def _post_session(self, request: Request) -> tuple[int, dict, list]:
+        doc = request.json()
+        unknown = set(doc) - set(_SESSION_FIELDS)
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown session fields {sorted(unknown)} (allowed: {sorted(_SESSION_FIELDS)})",
+            )
+        try:
+            proto = ScenarioSpec(name="live-proto", **doc)
+        except (SteeringError, TypeError) as exc:
+            raise HttpError(400, f"bad session spec: {exc}") from None
+        spec = mint_spec(proto, self._counter, "live", digits=5)
+        self._counter += 1
+        cls = self.controller.classifier(spec)
+        env = self.driver.env
+        accepted = self.controller.offer(spec)
+        if self.recorder is not None:
+            self.recorder.record_arrival(
+                spec,
+                sim=env.now,
+                wall=time.time(),
+                cls=cls.name,
+                outcome="queued" if accepted else "rejected",
+            )
+        if not accepted:
+            self.stats["rejected"] += 1
+            retry = self._retry_after_wall()
+            payload = {
+                "error": "admission queue full",
+                "name": spec.name,
+                "retry_after": retry,
+                "backpressure": self.controller.backpressure(),
+            }
+            return 429, payload, [("Retry-After", str(retry))]
+        self.stats["admitted"] += 1
+        payload = {
+            "name": spec.name,
+            "class": cls.name,
+            "state": "queued",
+            "sim_now": env.now,
+        }
+        return 202, payload, []
+
+    def _get_session(self, name: str) -> dict:
+        state = self.session_states.get(name)
+        if state is None:
+            raise HttpError(404, f"unknown session {name!r}")
+        payload = {
+            "name": name,
+            "state": state,
+            "site": self.driver.site_of.get(name),
+            "sim_now": self.driver.env.now,
+        }
+        tel = self.driver.telemetry.sessions.get(name)
+        if tel is not None:
+            payload["telemetry"] = {
+                "ops": tel.ops,
+                "timeouts": tel.timeouts,
+                "errors": tel.errors,
+                "completed": tel.completed,
+                "failure": tel.failure,
+                "admitted_at": tel.admitted_at,
+                "finished_at": tel.finished_at,
+            }
+        return payload
+
+    def _steer_session(self, name: str, request: Request) -> tuple[int, dict, list]:
+        if name not in self.session_states:
+            raise HttpError(404, f"unknown session {name!r}")
+        value = request.json().get("value")
+        if not self.driver.request_steer(name, value):
+            state = self.session_states[name]
+            raise HttpError(409, f"session {name!r} is not running (state: {state})")
+        self.stats["steers"] += 1
+        if self.recorder is not None:
+            self.recorder.record_event(
+                "steer", sim=self.driver.env.now, wall=time.time(), name=name, value=value
+            )
+        pending = len(self.driver.steer_requests.get(name, ()))
+        return 202, {"name": name, "state": "running", "pending_steers": pending}, []
+
+    def _delete_session(self, name: str) -> tuple[int, dict, list]:
+        if name not in self.session_states:
+            raise HttpError(404, f"unknown session {name!r}")
+        if not self.driver.cancel_session(name, reason="client request"):
+            state = self.session_states[name]
+            raise HttpError(409, f"session {name!r} is not running (state: {state})")
+        self.stats["cancels"] += 1
+        if self.recorder is not None:
+            self.recorder.record_event(
+                "cancel_request", sim=self.driver.env.now, wall=time.time(), name=name
+            )
+        return 202, {"name": name, "state": "cancelling"}, []

@@ -1,0 +1,263 @@
+"""Arrival-trace capture and deterministic replay.
+
+Every arrival the live front end offers — admitted *or* rejected — is
+appended to a JSONL trace whose line 1 is a header carrying the server's
+fabric configuration (sites, queue bounds, placement policy, pacing
+rate).  An arrival record keeps both clocks (wall for forensics, sim
+for replay), the SLO class, the offer outcome, and the **complete**
+:class:`~repro.fleet.spec.ScenarioSpec` constructor fields — name, seed,
+step budget, op mix — so replay re-offers the exact sessions, not
+look-alikes minted from a suite.
+
+That closes the loop with the campaign layer: :func:`trace_campaign`
+turns a trace file into a one-cell
+:class:`~repro.campaign.spec.CampaignSpec` whose arrival axis is the
+``trace:`` builder (:func:`repro.campaign.axes.build_arrivals` kind
+``"trace-file"``), so a production incident replays byte-identically
+under ``python -m repro.campaign run`` — same fabric, same admission
+decisions, same :class:`~repro.campaign.matrix.MatrixReport` — across
+repeated replays and across worker counts.
+
+The file discipline mirrors :class:`repro.campaign.store.ResultStore`:
+every append rewrites to a sibling ``.tmp`` and ``os.replace``-s it over
+the original, so a killed server never leaves a half-written record
+behind a committed one; a torn *trailing* line is dropped on load, a
+corrupt interior line is refused loudly.  (The quadratic rewrite cost is
+fine at control-plane arrival rates — tens per second, not thousands.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import LiveError
+from repro.fleet.spec import ScenarioSpec
+from repro.load.arrivals import RecordedArrivals
+
+TRACE_SCHEMA = "repro.live/trace-v1"
+
+#: ScenarioSpec constructor fields a trace record round-trips.  ``steps``
+#: rides along explicitly so the replayed spec cannot silently re-derive
+#: a different budget if the derivation rule ever changes.
+SPEC_FIELDS = (
+    "name",
+    "sim",
+    "profile",
+    "participants",
+    "cadence",
+    "duration",
+    "steps",
+    "sample_interval",
+    "compute_time",
+    "admission_offset",
+    "seed",
+    "sim_args",
+)
+
+
+def spec_fields(spec: ScenarioSpec) -> dict:
+    """The JSON-able constructor fields of a spec, for a trace record."""
+    doc = {name: getattr(spec, name) for name in SPEC_FIELDS}
+    doc["sim_args"] = dict(doc["sim_args"])
+    return doc
+
+
+def spec_from_fields(doc: dict) -> ScenarioSpec:
+    """Rebuild the exact spec a trace record captured."""
+    unknown = set(doc) - set(SPEC_FIELDS)
+    if unknown:
+        raise LiveError(f"trace spec record has unknown fields {sorted(unknown)}")
+    try:
+        return ScenarioSpec(**doc)
+    except TypeError as exc:
+        raise LiveError(f"trace spec record is incomplete: {exc}") from None
+
+
+class TraceRecorder:
+    """Append-only JSONL recorder for one live run's arrivals."""
+
+    def __init__(self, path: pathlib.Path | str, config: dict) -> None:
+        self.path = pathlib.Path(path)
+        self.arrivals = 0
+        self._records: list[dict] = [
+            {"kind": "header", "schema": TRACE_SCHEMA, "config": dict(config)}
+        ]
+        self._closed = False
+        self._rewrite()
+
+    @staticmethod
+    def _dumps(record: dict) -> str:
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def _rewrite(self) -> None:
+        tmp = self.path.parent / (self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text("\n".join(self._dumps(r) for r in self._records) + "\n")
+        os.replace(tmp, self.path)
+
+    def _append(self, record: dict) -> None:
+        if self._closed:
+            raise LiveError(f"{self.path}: trace already closed")
+        self._records.append(record)
+        self._rewrite()
+
+    def record_arrival(
+        self,
+        spec: ScenarioSpec,
+        sim: float,
+        wall: float,
+        cls: str,
+        outcome: str,
+    ) -> dict:
+        """One offered session: ``outcome`` is ``queued`` or ``rejected``."""
+        if outcome not in ("queued", "rejected"):
+            raise LiveError(f"arrival outcome must be queued|rejected, got {outcome!r}")
+        record = {
+            "kind": "arrival",
+            "index": self.arrivals,
+            "wall": wall,
+            "sim": sim,
+            "cls": cls,
+            "outcome": outcome,
+            "spec": spec_fields(spec),
+        }
+        self.arrivals += 1
+        self._append(record)
+        return record
+
+    def record_event(self, event: str, sim: float, wall: float, **detail) -> None:
+        """An observability breadcrumb (admit/abandon/steer/cancel ...).
+
+        Events carry site affinity and queue waits for forensics; replay
+        ignores them — the admission stack re-derives every decision.
+        """
+        self._append({"kind": "event", "event": event, "sim": sim, "wall": wall, **detail})
+
+    def close(self, sim: float, wall: float) -> None:
+        """Seal the trace with an end record (idempotent)."""
+        if self._closed:
+            return
+        self._append({"kind": "end", "sim": sim, "wall": wall, "arrivals": self.arrivals})
+        self._closed = True
+
+
+@dataclass
+class Trace:
+    """A loaded trace: header config, arrival records, breadcrumbs."""
+
+    path: pathlib.Path
+    config: dict
+    arrivals: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    end: Optional[dict] = None
+    #: torn trailing lines dropped on load (0 or 1 normally)
+    dropped_lines: int = 0
+
+    @property
+    def sealed(self) -> bool:
+        return self.end is not None
+
+    def entries(self) -> list[tuple[float, ScenarioSpec]]:
+        """Every offered arrival as ``(sim_time, spec)``, replay-ready."""
+        return [(rec["sim"], spec_from_fields(rec["spec"])) for rec in self.arrivals]
+
+    @property
+    def horizon(self) -> float:
+        """The replay horizon: the sealed end time, else just past the
+        last arrival (mirroring :class:`TraceArrivals`)."""
+        if self.end is not None and self.arrivals:
+            return max(float(self.end["sim"]), self.arrivals[-1]["sim"] + 1e-9)
+        if self.arrivals:
+            return self.arrivals[-1]["sim"] + 1e-9
+        raise LiveError(f"{self.path}: trace recorded no arrivals; nothing to replay")
+
+    def arrival_process(self) -> RecordedArrivals:
+        return RecordedArrivals(self.entries(), horizon=self.horizon)
+
+
+def load_trace(path: pathlib.Path | str) -> Trace:
+    """Parse and validate a trace file (tolerating one torn tail line)."""
+    path = pathlib.Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise LiveError(f"cannot read trace {path}: {exc}") from None
+    records: list[dict] = []
+    bad: list[int] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            bad.append(i)
+    if bad:
+        if bad != [len(lines) - 1]:
+            raise LiveError(
+                f"{path}: corrupt non-trailing trace record(s) at line(s) {[i + 1 for i in bad]}"
+            )
+    if not records:
+        raise LiveError(f"{path}: empty trace file")
+    head, *rest = records
+    if head.get("kind") != "header" or head.get("schema") != TRACE_SCHEMA:
+        raise LiveError(f"{path}: first record is not a {TRACE_SCHEMA} header")
+    trace = Trace(path=path, config=dict(head.get("config", {})), dropped_lines=len(bad))
+    expected_index = 0
+    for rec in rest:
+        kind = rec.get("kind")
+        if kind == "arrival":
+            if rec.get("index") != expected_index:
+                raise LiveError(
+                    f"{path}: arrival record out of order "
+                    f"(index {rec.get('index')!r}, expected {expected_index})"
+                )
+            if "spec" not in rec or "sim" not in rec:
+                raise LiveError(f"{path}: arrival record {expected_index} missing sim/spec")
+            expected_index += 1
+            trace.arrivals.append(rec)
+        elif kind == "event":
+            trace.events.append(rec)
+        elif kind == "end":
+            if trace.end is not None:
+                raise LiveError(f"{path}: duplicate end record")
+            trace.end = rec
+        else:
+            raise LiveError(f"{path}: unknown trace record kind {kind!r}")
+    return trace
+
+
+#: server-config keys that map straight onto campaign base config
+_BASE_KEYS = ("n_sites", "queue_slots", "queue_limit", "registry_shards", "broker_port")
+
+
+def trace_campaign(path: pathlib.Path | str, name: Optional[str] = None):
+    """A one-cell :class:`~repro.campaign.spec.CampaignSpec` replaying a
+    recorded trace under the fabric configuration it was captured on.
+
+    The arrival axis point is named ``trace:<stem>`` and carries the
+    ``trace-file`` builder kind, so the cell re-reads the trace at run
+    time — in any worker process, at any later date.
+    """
+    from repro.campaign.spec import AxisPoint, CampaignSpec
+
+    trace = load_trace(path)
+    config = trace.config
+    base = {key: config[key] for key in _BASE_KEYS if key in config}
+    base["horizon"] = trace.horizon
+    policy_params: dict = {"placement": config.get("placement", "least-loaded")}
+    if config.get("autoscale"):
+        policy_params["autoscale"] = config["autoscale"]
+    stem = pathlib.Path(path).stem
+    return CampaignSpec(
+        name=name or f"replay-{stem}",
+        seed=int(config.get("seed", 0)),
+        base=base,
+        scenarios=[AxisPoint("live", {})],
+        arrivals=[AxisPoint(f"trace:{stem}", {"kind": "trace-file", "path": str(path)})],
+        faults=[AxisPoint("none", {})],
+        policies=[AxisPoint(config.get("placement", "least-loaded"), policy_params)],
+    )

@@ -34,6 +34,7 @@ from repro.load.arrivals import (
     DiurnalArrivals,
     FlashCrowdArrivals,
     PoissonArrivals,
+    RecordedArrivals,
     TraceArrivals,
 )
 from repro.load.capacity import CapacityLedger, SiteCapacity, capacity_of
@@ -61,6 +62,7 @@ __all__ = [
     "DiurnalArrivals",
     "FlashCrowdArrivals",
     "TraceArrivals",
+    "RecordedArrivals",
     "SiteCapacity",
     "capacity_of",
     "CapacityLedger",

@@ -208,6 +208,41 @@ class AdmissionController:
             self._notify("release", site=site)
             self.kick()
 
+    # -- backpressure ------------------------------------------------------
+
+    def retry_after(self) -> float:
+        """A worst-case bound, in sim seconds, on when a queue slot frees.
+
+        Every queued entry leaves the queue by admission or by running
+        out of patience, so the *minimum remaining patience* over queued
+        entries bounds the time until the bounded queue has room again
+        (slots usually free much sooner, when a running session
+        completes).  With an empty queue the next :meth:`offer` is
+        accepted immediately and the bound is zero.  This is the number
+        a live front end converts to a ``Retry-After`` header.
+        """
+        now = self.env.now
+        remaining = [
+            entry.offered_at + entry.cls.patience - now
+            for _, _, entry in self._heap
+            if entry.state == QUEUED
+        ]
+        if not remaining:
+            return 0.0
+        return max(0.0, min(remaining))
+
+    def backpressure(self) -> dict:
+        """A JSON-able snapshot of the admission pressure right now."""
+        return {
+            "queue_depth": self._queued,
+            "queue_limit": self.queue_limit,
+            "saturated": self._queued >= self.queue_limit,
+            "free_slots": sum(
+                self.ledger.free(i) for i in self.ledger.active_sites()
+            ),
+            "retry_after": self.retry_after(),
+        }
+
     # -- convenience -------------------------------------------------------
 
     def run(

@@ -176,18 +176,41 @@ class FlashCrowdArrivals(_ThinnedArrivals):
         return self.burst_rate
 
 
+def _validate_instants(raw: Sequence[float], what: str = "trace") -> list[float]:
+    """Coerce and validate a sequence of arrival instants, pinpointing
+    the offending index and value in every error message."""
+    instants: list[float] = []
+    for i, value in enumerate(raw):
+        try:
+            t = float(value)
+        except (TypeError, ValueError):
+            raise LoadError(
+                f"{what} instant [{i}] = {value!r} is not a number"
+            ) from None
+        if math.isnan(t) or math.isinf(t):
+            raise LoadError(f"{what} instant [{i}] = {t!r} must be finite")
+        if t < 0:
+            raise LoadError(
+                f"{what} instant [{i}] = {t!r} must be non-negative"
+            )
+        if instants and t < instants[-1]:
+            raise LoadError(
+                f"{what} instant [{i}] = {t!r} goes back in time "
+                f"(instant [{i - 1}] = {instants[-1]!r}); instants must "
+                "be non-decreasing"
+            )
+        instants.append(t)
+    if not instants:
+        raise LoadError(f"a {what} needs at least one arrival instant")
+    return instants
+
+
 class TraceArrivals(ArrivalProcess):
     """Replay explicit arrival instants (e.g. recorded from a real run)."""
 
     def __init__(self, instants: Sequence[float],
                  horizon: Optional[float] = None, **kwargs) -> None:
-        instants = [float(t) for t in instants]
-        if not instants:
-            raise LoadError("a trace needs at least one arrival instant")
-        if any(t < 0 for t in instants):
-            raise LoadError("trace instants must be non-negative")
-        if any(b < a for a, b in zip(instants, instants[1:])):
-            raise LoadError("trace instants must be non-decreasing")
+        instants = _validate_instants(instants)
         if horizon is None:
             horizon = instants[-1] + 1e-9
         super().__init__(horizon, **kwargs)
@@ -197,3 +220,48 @@ class TraceArrivals(ArrivalProcess):
         for t in self.instants:
             if t < self.horizon:
                 yield t
+
+
+class RecordedArrivals(ArrivalProcess):
+    """Replay ``(at, spec)`` pairs captured by a live trace, verbatim.
+
+    Where :class:`TraceArrivals` replays *instants* and mints fresh specs
+    from a suite, this replays the **exact sessions** a live run offered
+    — same names, seeds, durations, op mixes — which is what makes a
+    recorded incident a byte-identical campaign cell
+    (see :mod:`repro.live.trace`).  Rejected offers are replayed too:
+    the admission controller re-decides them, and determinism makes it
+    decide the same way.
+    """
+
+    def __init__(self, entries: Sequence[tuple[float, ScenarioSpec]],
+                 horizon: Optional[float] = None) -> None:
+        entries = list(entries)
+        _validate_instants([at for at, _ in entries], what="recorded arrival")
+        for i, (_, spec) in enumerate(entries):
+            if not isinstance(spec, ScenarioSpec):
+                raise LoadError(
+                    f"recorded arrival [{i}] carries {type(spec).__name__}, "
+                    "not a ScenarioSpec"
+                )
+        names = [spec.name for _, spec in entries]
+        if len(set(names)) != len(names):
+            dupe = next(n for n in names if names.count(n) > 1)
+            raise LoadError(
+                f"recorded arrivals repeat session name {dupe!r}; a fleet "
+                "registers one application per session"
+            )
+        if horizon is None:
+            horizon = entries[-1][0] + 1e-9
+        super().__init__(horizon)
+        self.entries = entries
+
+    def times(self) -> Iterator[float]:
+        for at, _ in self.entries:
+            if at < self.horizon:
+                yield at
+
+    def __iter__(self) -> Iterator[tuple[float, ScenarioSpec]]:
+        for at, spec in self.entries:
+            if at < self.horizon:
+                yield at, spec

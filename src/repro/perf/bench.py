@@ -54,9 +54,7 @@ def bench_envelope(
         perf["wall_seconds"] = wall_seconds
         if events is not None:
             perf["events"] = events
-            perf["events_per_sec"] = (
-                events / wall_seconds if wall_seconds > 0 else 0.0
-            )
+            perf["events_per_sec"] = events / wall_seconds if wall_seconds > 0 else 0.0
     elif events is not None:
         perf["events"] = events
     return {
@@ -82,9 +80,7 @@ def write_bench(
     the committed JSON is always either the old document or the new one.
     """
     path = pathlib.Path(path)
-    doc = bench_envelope(
-        name, results, wall_seconds=wall_seconds, events=events
-    )
+    doc = bench_envelope(name, results, wall_seconds=wall_seconds, events=events)
     tmp = path.parent / (path.name + ".tmp")
     tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     os.replace(tmp, path)

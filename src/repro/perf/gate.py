@@ -101,9 +101,7 @@ def main(argv=None) -> int:
         ),
     )
     args = parser.parse_args(argv)
-    ok, verdict = check(
-        args.baseline, sessions=args.sessions, threshold=args.threshold
-    )
+    ok, verdict = check(args.baseline, sessions=args.sessions, threshold=args.threshold)
     print(verdict)
     return 0 if ok else 1
 

@@ -106,9 +106,7 @@ class Profiler:
         if self._env is not None:
             # Report mid-attachment: snapshot without detaching.
             wall = self.wall_seconds + (time.perf_counter() - self._t0)
-            events = self.events + (
-                self._env.events_processed - self._events0
-            )
+            events = self.events + (self._env.events_processed - self._events0)
         else:
             wall, events = self.wall_seconds, self.events
         rows = sorted(

@@ -192,3 +192,49 @@ def test_cli_run_report_diff_round_trip(reference, tmp_path, capsys):
     # unknown preset is a clean CampaignError exit, not a traceback.
     assert cli_main(["run", "--preset", "smoke", "--store", str(store),
                      ]) == 2
+
+
+def test_marginal_drift_is_zero_against_itself(reference):
+    _, matrix = reference
+    drift = matrix.diff_marginals(matrix)
+    assert drift["exceeded"] == [] and drift["missing"] == []
+    assert all(e["drift"] == 0.0 for e in drift["entries"])
+    from repro.errors import CampaignError
+    with pytest.raises(CampaignError, match=">= 0"):
+        matrix.diff_marginals(matrix, threshold=-0.1)
+
+
+def test_marginal_drift_flags_moved_and_missing_points(reference):
+    store, matrix = reference
+    spec = store.spec()
+    # Perturb every trace-arrival cell's completion count: the arrivals
+    # marginal for "trace" moves while "poisson" stays put.
+    records = [json.loads(dumps(rec)) for rec in store.cell_records()]
+    for rec in records:
+        if "/trace/" in rec["cell_id"]:
+            rec["report"]["completed"] = 0
+    moved = MatrixReport.from_records(records, spec=spec)
+    drift = matrix.diff_marginals(moved, threshold=0.05)
+    flagged = {(e["axis"], e["point"], e["metric"]) for e in drift["exceeded"]}
+    assert ("arrival", "trace", "goodput") in flagged
+    assert not any(point == "poisson" for _, point, _ in flagged)
+    # A loose threshold swallows the same drift.
+    loose = matrix.diff_marginals(moved, threshold=1.0)
+    assert not any(e["metric"] == "goodput" for e in loose["exceeded"])
+
+    # Dropping every crash cell erases a faults marginal entirely
+    # (no spec: nothing re-seeds the empty point on the other side).
+    kept = [rec for rec in records if "/crash/" not in rec["cell_id"]]
+    shrunk = MatrixReport.from_records(kept)
+    gone = matrix.diff_marginals(shrunk)
+    assert {"axis": "faults", "point": "crash", "only": "self"} in gone["missing"]
+    rendered = MatrixReport.render_marginals(gone)
+    assert "faults:crash only in A" in rendered
+
+
+def test_cli_diff_marginal_threshold_gate(reference, tmp_path, capsys):
+    store = str(reference[0].path)
+    assert cli_main(["diff", store, store, "--marginal-threshold", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "marginal drift vs threshold 0.1" in out
+    assert "0 exceeded, 0 missing" in out

@@ -8,6 +8,7 @@ from repro.load import (
     DiurnalArrivals,
     FlashCrowdArrivals,
     PoissonArrivals,
+    RecordedArrivals,
     TraceArrivals,
 )
 
@@ -91,6 +92,51 @@ def test_trace_replay_and_validation():
         TraceArrivals([-1.0])
     # Explicit horizon truncates the tail.
     assert [t for t, _ in TraceArrivals([0.0, 5.0], horizon=3.0)] == [0.0]
+
+
+def test_trace_errors_pinpoint_index_and_value():
+    with pytest.raises(LoadError, match=r"\[1\] = 'two' is not a number"):
+        TraceArrivals([1.0, "two", 3.0])
+    with pytest.raises(LoadError, match=r"\[0\] = None is not a number"):
+        TraceArrivals([None])
+    with pytest.raises(LoadError, match=r"\[2\] = nan must be finite"):
+        TraceArrivals([0.0, 1.0, float("nan")])
+    with pytest.raises(LoadError, match=r"\[1\] = inf must be finite"):
+        TraceArrivals([0.0, float("inf")])
+    with pytest.raises(LoadError, match=r"\[0\] = -0\.5 must be non-negative"):
+        TraceArrivals([-0.5, 1.0])
+    with pytest.raises(
+        LoadError, match=r"\[2\] = 1\.0 goes back in time \(instant \[1\] = 2\.0\)"
+    ):
+        TraceArrivals([0.0, 2.0, 1.0])
+    # Integer-ish inputs are coerced, not rejected.
+    assert list(TraceArrivals([0, 1, 2]).times()) == [0.0, 1.0, 2.0]
+
+
+def _spec(name):
+    return ScenarioSpec(name=name, sim="building", participants=1)
+
+
+def test_recorded_arrivals_replay_exact_pairs():
+    entries = [(0.5, _spec("a")), (1.5, _spec("b")), (1.5, _spec("c"))]
+    proc = RecordedArrivals(entries)
+    got = list(proc)
+    assert got == entries
+    assert list(proc.times()) == [0.5, 1.5, 1.5]
+    assert proc.horizon == pytest.approx(1.5, abs=1e-6)
+    # An explicit horizon truncates, exactly like TraceArrivals.
+    assert [s.name for _, s in RecordedArrivals(entries, horizon=1.0)] == ["a"]
+
+
+def test_recorded_arrivals_validation():
+    with pytest.raises(LoadError, match="recorded arrival"):
+        RecordedArrivals([])
+    with pytest.raises(LoadError, match=r"recorded arrival instant \[1\] = 0\.5 goes back"):
+        RecordedArrivals([(1.0, _spec("a")), (0.5, _spec("b"))])
+    with pytest.raises(LoadError, match=r"\[1\] carries dict, not a ScenarioSpec"):
+        RecordedArrivals([(0.0, _spec("a")), (1.0, {"name": "b"})])
+    with pytest.raises(LoadError, match="repeat session name 'a'"):
+        RecordedArrivals([(0.0, _spec("a")), (1.0, _spec("a"))])
 
 
 def test_bad_configurations_raise():

@@ -7,6 +7,7 @@ Subcommands::
             [--bench-out PATH]
     resume  --store PATH [--workers N] [--fail-on-violations]
     report  --store PATH [--per-cell] [--json]
+            [--html PATH [--baseline STORE] [--drift-threshold T]]
     diff    STORE_A STORE_B [--marginal-threshold T]
 
 ``run`` against an existing store resumes it (the header must match the
@@ -146,9 +147,25 @@ def cmd_report(args: argparse.Namespace) -> int:
     matrix = MatrixReport.from_records(
         store.cell_records(), spec=store.spec()
     )
+    if args.baseline is not None and args.html is None:
+        raise CampaignError("--baseline requires --html")
+    if args.html is not None:
+        from repro.campaign.dashboard import write_html
+
+        baseline = None
+        if args.baseline is not None:
+            base_store = ResultStore(args.baseline)
+            baseline = MatrixReport.from_records(
+                base_store.cell_records(), spec=base_store.spec()
+            )
+        path = write_html(
+            args.html, matrix, baseline=baseline,
+            drift_threshold=args.drift_threshold,
+        )
+        print(f"dashboard written to {path}")
     if args.json:
         print(json.dumps(matrix.to_dict(), indent=2, sort_keys=True))
-    else:
+    elif args.html is None:
         print(matrix.render(per_cell=args.per_cell))
     return 0
 
@@ -215,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--per-cell", action="store_true")
     report.add_argument("--json", action="store_true",
                         help="emit the MatrixReport as JSON")
+    report.add_argument("--html", default=None,
+                        help="write a self-contained HTML dashboard here")
+    report.add_argument("--baseline", default=None,
+                        help="baseline store for the dashboard's "
+                             "marginal-drift table (needs --html)")
+    report.add_argument("--drift-threshold", type=float, default=0.05,
+                        help="drift fraction highlighted in the "
+                             "dashboard (default 0.05)")
     report.set_defaults(func=cmd_report)
 
     diff = sub.add_parser(

@@ -1,0 +1,264 @@
+"""Static HTML dashboard for a campaign's :class:`MatrixReport`.
+
+``python -m repro.campaign report --store S --html out.html`` renders
+one self-contained page — inline CSS, inline SVG, zero scripts, zero
+external fetches — so the nightly workflow can publish it as an artifact
+and anyone can open the file from disk:
+
+* headline totals (cells, goodput, ops, faults, violations);
+* a goodput vs. steer-p90 scatter of every cell with the pareto front
+  drawn through the non-dominated ones;
+* per-axis marginal tables (the same numbers ``render`` prints);
+* when a baseline store is given, the marginal drift table from
+  :meth:`MatrixReport.diff_marginals`, drifted rows highlighted.
+
+Everything is a pure function of the deterministic ``MatrixReport``
+content (plus the optional baseline), so two same-seed campaigns render
+byte-identical dashboards — the artifact itself is diffable.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Optional
+
+from repro.campaign.matrix import MatrixReport
+from repro.campaign.spec import AXES
+
+_CSS = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', sans-serif;
+       margin: 2em auto; max-width: 72em; color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccd; padding: 0.25em 0.7em; text-align: right; }
+th { background: #eef; } td.name { text-align: left; }
+tr.pareto td { background: #e8f6e8; }
+tr.drift td { background: #fde8e8; }
+.totals span { display: inline-block; margin-right: 1.6em; }
+.totals b { font-size: 1.3em; }
+.bad b { color: #b00020; }
+svg { border: 1px solid #ccd; background: #fcfcff; }
+.note { color: #667; font-size: 0.9em; }
+"""
+
+
+def _fmt(x, pct: bool = False) -> str:
+    """Table cell text: '-' for NaN, percents for fractions."""
+    if isinstance(x, float):
+        if math.isnan(x):
+            return "-"
+        if pct:
+            return f"{x:.0%}"
+        return f"{x:g}" if x == int(x) else f"{x:.2f}"
+    return str(x)
+
+
+def _scatter(cells: list[dict], front_ids: set) -> str:
+    """Inline SVG: steer p90 (x) vs goodput (y), pareto front joined."""
+    width, height, pad = 640, 360, 45
+    plotted = [c for c in cells if not math.isnan(c["steer_p90_ms"])]
+    if not plotted:
+        return '<p class="note">no cell produced steering latencies.</p>'
+    xmax = max(c["steer_p90_ms"] for c in plotted) * 1.08 or 1.0
+
+    def sx(ms: float) -> float:
+        return pad + (width - 2 * pad) * ms / xmax
+
+    def sy(goodput: float) -> float:
+        return height - pad - (height - 2 * pad) * goodput
+
+    parts = [
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}" '
+        'role="img" aria-label="goodput vs steer p90 per cell">'
+    ]
+    # axes + gridlines at goodput quarters and four latency ticks
+    for i in range(5):
+        frac = i / 4
+        y = sy(frac)
+        x = sx(xmax * frac / 1.08) if i else pad
+        parts.append(
+            f'<line x1="{pad}" y1="{y:.1f}" x2="{width - pad}" y2="{y:.1f}" '
+            'stroke="#dde" />'
+            f'<text x="{pad - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11" fill="#667">{frac:.0%}</text>'
+        )
+        tick = xmax * frac
+        parts.append(
+            f'<text x="{sx(tick):.1f}" y="{height - pad + 16}" '
+            f'text-anchor="middle" font-size="11" fill="#667">{tick:.1f}</text>'
+        )
+    parts.append(
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#99a" />'
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" '
+        'stroke="#99a" />'
+        f'<text x="{width / 2:.0f}" y="{height - 8}" text-anchor="middle" '
+        'font-size="12">steer p90 (ms)</text>'
+        f'<text x="14" y="{height / 2:.0f}" text-anchor="middle" font-size="12" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">goodput</text>'
+    )
+    front = sorted(
+        (c for c in plotted if c["cell_id"] in front_ids),
+        key=lambda c: c["steer_p90_ms"],
+    )
+    if len(front) > 1:
+        points = " ".join(
+            f"{sx(c['steer_p90_ms']):.1f},{sy(c['goodput']):.1f}" for c in front
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="#2a7" '
+            'stroke-width="1.5" stroke-dasharray="4 3" />'
+        )
+    for cell in plotted:
+        on_front = cell["cell_id"] in front_ids
+        parts.append(
+            f'<circle cx="{sx(cell["steer_p90_ms"]):.1f}" '
+            f'cy="{sy(cell["goodput"]):.1f}" r="{5 if on_front else 3.5}" '
+            f'fill="{"#2a7" if on_front else "#46c"}" fill-opacity="0.75">'
+            f"<title>{html.escape(cell['cell_id'])}\n"
+            f"goodput {cell['goodput']:.0%}, "
+            f"p90 {cell['steer_p90_ms']:.2f} ms</title></circle>"
+        )
+    parts.append("</svg>")
+    skipped = len(cells) - len(plotted)
+    if skipped:
+        parts.append(
+            f'<p class="note">{skipped} cell(s) without steering latencies '
+            "are not plotted.</p>"
+        )
+    return "".join(parts)
+
+
+def _totals_block(matrix: MatrixReport) -> str:
+    t = matrix.totals
+    d = t.to_dict()
+    bad = ' bad' if t.violations else ""
+    return (
+        f'<p class="totals"><span><b>{t.cells}/{matrix.expected_cells}</b> '
+        "cells</span>"
+        f"<span><b>{_fmt(t.goodput, pct=True)}</b> goodput "
+        f"({t.completed}/{t.sessions} sessions)</span>"
+        f"<span><b>{t.ops}</b> steering ops</span>"
+        f"<span><b>{t.faults_applied}</b> faults</span>"
+        f'<span class="{bad.strip()}"><b>{t.violations}</b> violations</span>'
+        f"<span><b>{_fmt(d['steer_p90_ms'])}</b> ms steer p90</span>"
+        f"<span><b>{_fmt(d['wait_p90_s'])}</b> s wait p90</span></p>"
+    )
+
+
+def _marginal_tables(matrix: MatrixReport) -> str:
+    parts = []
+    columns = (
+        ("cells", "cells"), ("sessions", "sess"), ("goodput", "goodput"),
+        ("ops", "ops"), ("violations", "viol"),
+        ("steer_p90_ms", "p90 ms"), ("wait_p90_s", "wait90 s"),
+    )
+    for axis in AXES:
+        points = matrix.marginals[axis]
+        if not points:
+            continue
+        rows = []
+        for name, agg in points.items():
+            d = agg.to_dict()
+            cells = "".join(
+                f"<td>{_fmt(d[key], pct=(key == 'goodput'))}</td>"
+                for key, _ in columns
+            )
+            rows.append(f'<tr><td class="name">{html.escape(name)}</td>{cells}</tr>')
+        header = "".join(f"<th>{label}</th>" for _, label in columns)
+        parts.append(
+            f"<h2>by {html.escape(axis)}</h2>"
+            f'<table><tr><th>point</th>{header}</tr>{"".join(rows)}</table>'
+        )
+    return "".join(parts)
+
+
+def _cells_table(matrix: MatrixReport, front_ids: set) -> str:
+    rows = []
+    for cell in matrix.cells:
+        cls = ' class="pareto"' if cell["cell_id"] in front_ids else ""
+        rows.append(
+            f'<tr{cls}><td class="name">{html.escape(cell["cell_id"])}</td>'
+            f"<td>{cell['sessions']}</td>"
+            f"<td>{_fmt(cell['goodput'], pct=True)}</td>"
+            f"<td>{cell['ops']}</td><td>{cell['violations']}</td>"
+            f"<td>{_fmt(cell['steer_p90_ms'])}</td>"
+            f"<td>{_fmt(cell['wait_p90_s'])}</td></tr>"
+        )
+    return (
+        "<h2>cells</h2>"
+        '<p class="note">green rows are on the goodput/latency pareto '
+        "front.</p>"
+        "<table><tr><th>cell</th><th>sess</th><th>goodput</th><th>ops</th>"
+        f'<th>viol</th><th>p90 ms</th><th>wait90 s</th></tr>{"".join(rows)}'
+        "</table>"
+    )
+
+
+def _drift_table(
+    matrix: MatrixReport, baseline: MatrixReport, threshold: float
+) -> str:
+    drift = matrix.diff_marginals(baseline, threshold=threshold)
+    rows = []
+    for m in drift["missing"]:
+        side = "this run" if m["only"] == "self" else "baseline"
+        rows.append(
+            f'<tr class="drift"><td class="name">{html.escape(m["axis"])}:'
+            f'{html.escape(m["point"])}</td><td colspan="4">point only in '
+            f"{side}</td></tr>"
+        )
+    for e in drift["entries"]:
+        flagged = e["drift"] > threshold or math.isinf(e["drift"])
+        cls = ' class="drift"' if flagged else ""
+        rows.append(
+            f'<tr{cls}><td class="name">{html.escape(e["axis"])}:'
+            f'{html.escape(e["point"])}</td>'
+            f'<td class="name">{html.escape(e["metric"])}</td>'
+            f"<td>{_fmt(e['other'], pct=(e['metric'] == 'goodput'))}</td>"
+            f"<td>{_fmt(e['self'], pct=(e['metric'] == 'goodput'))}</td>"
+            f"<td>{_fmt(e['drift'])}</td></tr>"
+        )
+    return (
+        f"<h2>drift vs. baseline (threshold {threshold:g})</h2>"
+        f'<p class="note">{len(drift["exceeded"])} exceeded, '
+        f'{len(drift["missing"])} missing of {len(drift["entries"])} '
+        "comparisons; red rows exceed the threshold.</p>"
+        "<table><tr><th>marginal</th><th>metric</th><th>baseline</th>"
+        f'<th>this run</th><th>drift</th></tr>{"".join(rows)}</table>'
+    )
+
+
+def render_html(
+    matrix: MatrixReport,
+    baseline: Optional[MatrixReport] = None,
+    drift_threshold: float = 0.05,
+) -> str:
+    """The dashboard page as one HTML string."""
+    front_ids = {row["cell_id"] for row in matrix.pareto()}
+    title = f"campaign {matrix.campaign!r} seed {matrix.seed}"
+    sections = [
+        f"<h1>{html.escape(title)}</h1>",
+        _totals_block(matrix),
+        "<h2>goodput vs. steer p90</h2>",
+        _scatter(matrix.cells, front_ids),
+        _marginal_tables(matrix),
+    ]
+    if baseline is not None:
+        sections.append(_drift_table(matrix, baseline, drift_threshold))
+    sections.append(_cells_table(matrix, front_ids))
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>\n"
+        + "\n".join(sections)
+        + "\n</body></html>\n"
+    )
+
+
+def write_html(path, matrix, baseline=None, drift_threshold: float = 0.05):
+    """Render and write the dashboard; returns the path."""
+    page = render_html(matrix, baseline=baseline, drift_threshold=drift_threshold)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    return path

@@ -64,16 +64,13 @@ class ChaosHarness:
     bench/test stands up an identical, correctly-ordered world.
     """
 
-    def __init__(self, driver, controller=None, pool=None,
-                 policy=None, monitor_interval: float = 1.0) -> None:
+    def __init__(
+        self, driver, controller=None, pool=None, policy=None, monitor_interval: float = 1.0
+    ) -> None:
         self.driver = driver
         self.controller = controller
-        self.monitor = InvariantMonitor(
-            driver, controller=controller, interval=monitor_interval
-        )
-        self.injector = FaultInjector(
-            driver, controller=controller, pool=pool
-        )
+        self.monitor = InvariantMonitor(driver, controller=controller, interval=monitor_interval)
+        self.injector = FaultInjector(driver, controller=controller, pool=pool)
         self.recovery = RecoveryOrchestrator(
             self.injector, controller=controller, pool=pool, policy=policy
         )

@@ -54,9 +54,7 @@ class Fault:
         if self.at < 0:
             raise ChaosError(f"{self.kind}: fault time must be >= 0")
         if self.duration is not None and self.duration <= 0:
-            raise ChaosError(
-                f"{self.kind}: duration must be > 0 or None (permanent)"
-            )
+            raise ChaosError(f"{self.kind}: duration must be > 0 or None (permanent)")
 
     def describe(self) -> str:
         params = ", ".join(
@@ -65,9 +63,7 @@ class Fault:
             if f.name not in ("at", "duration")
         )
         window = "permanent" if self.duration is None else f"{self.duration:g}s"
-        return f"{self.kind}(t={self.at:g}, {window}" + (
-            f", {params})" if params else ")"
-        )
+        return f"{self.kind}(t={self.at:g}, {window}" + (f", {params})" if params else ")")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -83,8 +79,7 @@ class LinkDegrade(Fault):
         super().__post_init__()
         if self.latency_factor < 1.0 or not 0.0 < self.bandwidth_factor <= 1.0:
             raise ChaosError(
-                f"{self.kind}: need latency_factor >= 1 and "
-                "bandwidth_factor in (0, 1]"
+                f"{self.kind}: need latency_factor >= 1 and " "bandwidth_factor in (0, 1]"
             )
 
 
@@ -194,16 +189,13 @@ class FaultSchedule:
     def add(self, fault: Fault) -> "FaultSchedule":
         if not isinstance(fault, Fault) or type(fault) is Fault:
             raise ChaosError(
-                f"schedule entries must be concrete Fault instances, "
-                f"got {fault!r}"
+                f"schedule entries must be concrete Fault instances, " f"got {fault!r}"
             )
         self._faults.append(fault)
         return self
 
     def __iter__(self) -> Iterator[Fault]:
-        decorated = sorted(
-            (fault.at, i, fault) for i, fault in enumerate(self._faults)
-        )
+        decorated = sorted((fault.at, i, fault) for i, fault in enumerate(self._faults))
         return iter(fault for _, _, fault in decorated)
 
     def __len__(self) -> int:
@@ -212,9 +204,7 @@ class FaultSchedule:
     @property
     def horizon(self) -> float:
         """When the last fault window closes (0.0 for an empty schedule)."""
-        return max(
-            (f.at + (f.duration or 0.0) for f in self._faults), default=0.0
-        )
+        return max((f.at + (f.duration or 0.0) for f in self._faults), default=0.0)
 
     def describe(self) -> list[str]:
         return [f.describe() for f in self]
@@ -228,10 +218,7 @@ class FaultSchedule:
         fault has a duration, wait it out and revert.
         """
         injector.validate(self)
-        return [
-            injector.env.process(self._fire(injector, fault))
-            for fault in self
-        ]
+        return [injector.env.process(self._fire(injector, fault)) for fault in self]
 
     @staticmethod
     def _fire(injector, fault: Fault):
@@ -274,8 +261,7 @@ class FaultSchedule:
         rng = random.Random(seed)
         pool = list(kinds) if kinds is not None else list(FAULT_KINDS)
         if sites < 1:
-            pool = [k for k in pool
-                    if k not in (SiteOutage, ContainerCrash, SlowNode)]
+            pool = [k for k in pool if k not in (SiteOutage, ContainerCrash, SlowNode)]
         if shards < 1:
             pool = [k for k in pool if k is not RegistryShardLoss]
         if brokers < 1:
@@ -285,9 +271,7 @@ class FaultSchedule:
         if not hosts:
             pool = [k for k in pool if k is not FirewallLockdown]
         if not pool:
-            raise ChaosError(
-                "no fault kind is satisfiable with the declared populations"
-            )
+            raise ChaosError("no fault kind is satisfiable with the declared populations")
         schedule = cls()
         slot = 0.8 * horizon / n_faults
         for i in range(n_faults):
@@ -308,25 +292,17 @@ class FaultSchedule:
                 a, b = rng.choice(list(host_pairs))
                 schedule.add(Partition(at=at, duration=duration, a=a, b=b))
             elif kind is SiteOutage:
-                schedule.add(SiteOutage(
-                    at=at, duration=duration, site=rng.randrange(sites)
-                ))
+                schedule.add(SiteOutage(at=at, duration=duration, site=rng.randrange(sites)))
             elif kind is ContainerCrash:
-                schedule.add(ContainerCrash(
-                    at=at, duration=duration, site=rng.randrange(sites)
-                ))
+                schedule.add(ContainerCrash(at=at, duration=duration, site=rng.randrange(sites)))
             elif kind is VBrokerCrash:
-                schedule.add(VBrokerCrash(
-                    at=at, duration=duration, broker=rng.randrange(brokers)
-                ))
+                schedule.add(VBrokerCrash(at=at, duration=duration, broker=rng.randrange(brokers)))
             elif kind is RegistryShardLoss:
-                schedule.add(RegistryShardLoss(
-                    at=at, shard=rng.randrange(shards)
-                ))
+                schedule.add(RegistryShardLoss(at=at, shard=rng.randrange(shards)))
             elif kind is FirewallLockdown:
-                schedule.add(FirewallLockdown(
-                    at=at, duration=duration, host=rng.choice(list(hosts))
-                ))
+                schedule.add(
+                    FirewallLockdown(at=at, duration=duration, host=rng.choice(list(hosts)))
+                )
             elif kind is SlowNode:
                 schedule.add(SlowNode(
                     at=at, duration=duration, site=rng.randrange(sites),

@@ -37,8 +37,7 @@ from repro.errors import ChaosError
 class FaultInjector:
     """Applies/reverts faults against a live fleet fabric."""
 
-    def __init__(self, driver, ledger=None, controller=None,
-                 pool=None) -> None:
+    def __init__(self, driver, ledger=None, controller=None, pool=None) -> None:
         self.driver = driver
         self.env = driver.env
         self.net = driver.net
@@ -77,36 +76,27 @@ class FaultInjector:
             if isinstance(fault, (SiteOutage, ContainerCrash, SlowNode)):
                 if fault.site >= len(self.driver.sites):
                     raise ChaosError(
-                        f"{fault.describe()}: fabric has only "
-                        f"{len(self.driver.sites)} sites"
+                        f"{fault.describe()}: fabric has only " f"{len(self.driver.sites)} sites"
                     )
             elif isinstance(fault, VBrokerCrash):
                 if self.pool is None:
-                    raise ChaosError(
-                        f"{fault.describe()}: no broker pool attached"
-                    )
+                    raise ChaosError(f"{fault.describe()}: no broker pool attached")
                 if fault.broker >= len(self.pool.brokers):
                     raise ChaosError(
-                        f"{fault.describe()}: pool has only "
-                        f"{len(self.pool.brokers)} brokers"
+                        f"{fault.describe()}: pool has only " f"{len(self.pool.brokers)} brokers"
                     )
             elif isinstance(fault, RegistryShardLoss):
                 if fault.shard >= len(self.driver.shards):
                     raise ChaosError(
-                        f"{fault.describe()}: only "
-                        f"{len(self.driver.shards)} shards"
+                        f"{fault.describe()}: only " f"{len(self.driver.shards)} shards"
                     )
             elif isinstance(fault, (LinkDegrade, Partition)):
                 for name in (fault.a, fault.b):
                     if name not in self.net.hosts:
-                        raise ChaosError(
-                            f"{fault.describe()}: unknown host {name!r}"
-                        )
+                        raise ChaosError(f"{fault.describe()}: unknown host {name!r}")
             elif isinstance(fault, FirewallLockdown):
                 if fault.host not in self.net.hosts:
-                    raise ChaosError(
-                        f"{fault.describe()}: unknown host {fault.host!r}"
-                    )
+                    raise ChaosError(f"{fault.describe()}: unknown host {fault.host!r}")
 
     # -- the two verbs -----------------------------------------------------
 
@@ -256,9 +246,7 @@ class FaultInjector:
         firewall = self.net.host(fault.host).firewall
         site = self.driver.site_of_host(fault.host)
         if apply:
-            self._lockdowns[fault.host] = (
-                self._lockdowns.get(fault.host, 0) + 1
-            )
+            self._lockdowns[fault.host] = (self._lockdowns.get(fault.host, 0) + 1)
             firewall.lockdown()
             # A locked-down site cannot launch new sessions (the gateway
             # port is shut); take it out of placement for the window.

@@ -84,9 +84,7 @@ class InvariantMonitor:
     def _on_session(self, kind: str, name: str, site: int) -> None:
         if kind == "start":
             if name in self._started:
-                self._violate(
-                    "single-start", f"session {name!r} started twice"
-                )
+                self._violate("single-start", f"session {name!r} started twice")
             self._started.add(name)
         elif kind in ("complete", "fail", "cancel"):
             if name not in self._started:
@@ -95,9 +93,7 @@ class InvariantMonitor:
                     f"session {name!r} finished ({kind}) without starting",
                 )
             if name in self._finished:
-                self._violate(
-                    "single-finish", f"session {name!r} finished twice"
-                )
+                self._violate("single-finish", f"session {name!r} finished twice")
             self._finished.add(name)
 
     def _on_queue(self, kind: str, **detail) -> None:
@@ -165,8 +161,7 @@ class InvariantMonitor:
         if balance != ledger.total_inflight:
             self._violate(
                 "ledger-balance",
-                f"acquires-releases={balance} != "
-                f"inflight={ledger.total_inflight}",
+                f"acquires-releases={balance} != " f"inflight={ledger.total_inflight}",
             )
         for site, (inflight, slots, _down) in ledger.snapshot().items():
             if not 0 <= inflight <= slots:
@@ -188,8 +183,7 @@ class InvariantMonitor:
         if ghosts:
             self._violate(
                 "no-session-lost",
-                f"running but never started/already finished: "
-                f"{sorted(ghosts)}",
+                f"running but never started/already finished: " f"{sorted(ghosts)}",
             )
 
     def _check_placement(self) -> None:
@@ -197,9 +191,7 @@ class InvariantMonitor:
         for name in self.driver.active:
             site = self.driver.site_of.get(name)
             if site is None:
-                self._violate(
-                    "single-placement", f"running session {name!r} has no site"
-                )
+                self._violate("single-placement", f"running session {name!r} has no site")
             elif not 0 <= site < n_sites:
                 self._violate(
                     "single-placement",
@@ -223,8 +215,7 @@ class InvariantMonitor:
                 if routed != idx:
                     self._violate(
                         "shard-routing",
-                        f"{handle} lives in shard {idx} but routes to "
-                        f"{routed} of {n}",
+                        f"{handle} lives in shard {idx} but routes to " f"{routed} of {n}",
                     )
         for site in self.driver.sites:
             registry = site.registry
@@ -249,9 +240,7 @@ class InvariantMonitor:
         telemetry = self.driver.telemetry
         for attr in ("steer_latency", "find_latency", "admit_latency"):
             merged = telemetry._merged(attr).n
-            total = sum(
-                getattr(t, attr).n for t in telemetry.sessions.values()
-            )
+            total = sum(getattr(t, attr).n for t in telemetry.sessions.values())
             if merged != total:
                 self._violate(
                     "telemetry-lossless",
@@ -266,8 +255,7 @@ class InvariantMonitor:
         if self.driver.active:
             self._violate(
                 "quiescence",
-                f"sessions still running at the end: "
-                f"{sorted(self.driver.active)}",
+                f"sessions still running at the end: " f"{sorted(self.driver.active)}",
             )
         if self.controller is not None:
             if self.controller.queue_depth != 0:
@@ -284,8 +272,7 @@ class InvariantMonitor:
         if self._started != self._finished:
             self._violate(
                 "quiescence",
-                f"{len(self._started - self._finished)} sessions started "
-                "but never finished",
+                f"{len(self._started - self._finished)} sessions started " "but never finished",
             )
         if report is not None:
             totals = self.driver.telemetry.totals()
@@ -302,9 +289,7 @@ class InvariantMonitor:
                     f"> sessions {report.n_sessions}",
                 )
             q = report.queue
-            if q is not None and q.offered != (
-                q.admitted + q.rejected + q.abandoned
-            ):
+            if q is not None and q.offered != (q.admitted + q.rejected + q.abandoned):
                 self._violate(
                     "report-consistency",
                     f"queue slice offered={q.offered} != admitted+rejected+"
@@ -320,15 +305,13 @@ class InvariantMonitor:
     def assert_ok(self) -> None:
         if self.violations:
             raise ChaosError(
-                f"{len(self.violations)} invariant violation(s):\n"
-                + "\n".join(self.violations)
+                f"{len(self.violations)} invariant violation(s):\n" + "\n".join(self.violations)
             )
 
     def render(self) -> str:
         if self.ok:
             return (
-                f"invariants: OK ({self.sweeps} sweeps, "
-                f"{len(self._started)} sessions watched)"
+                f"invariants: OK ({self.sweeps} sweeps, " f"{len(self._started)} sessions watched)"
             )
         return (
             f"invariants: {len(self.violations)} VIOLATION(S)\n"

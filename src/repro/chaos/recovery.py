@@ -61,12 +61,9 @@ class RecoveryPolicy:
     max_retries: int = 2
 
     def __post_init__(self) -> None:
-        for name in ("site_outage", "container_crash", "slow_node",
-                     "firewall_lockdown"):
+        for name in ("site_outage", "container_crash", "slow_node", "firewall_lockdown"):
             if getattr(self, name) not in _ACTIONS:
-                raise ChaosError(
-                    f"policy {name} must be one of {_ACTIONS}"
-                )
+                raise ChaosError(f"policy {name} must be one of {_ACTIONS}")
         if self.site_outage == MIGRATE:
             raise ChaosError(
                 "a full site outage kills the compute host; there is "
@@ -110,8 +107,7 @@ class RecoveryOrchestrator:
         self.injector = injector
         self.driver = injector.driver
         self.env = injector.env
-        self.controller = controller if controller is not None \
-            else injector.controller
+        self.controller = controller if controller is not None else injector.controller
         self.pool = pool if pool is not None else injector.pool
         self.policy = policy or RecoveryPolicy()
         injector.on_fault.append(self._on_fault)
@@ -196,8 +192,7 @@ class RecoveryOrchestrator:
         self.abandoned += 1
         self.events.append((self.env.now, fault.kind, ABANDON, name))
 
-    def _migrate_sessions(self, fault: Fault, site_index: int,
-                          names: list[str]) -> None:
+    def _migrate_sessions(self, fault: Fault, site_index: int, names: list[str]) -> None:
         source = self.driver.sites[site_index].container
         target_site = self._pick_target_site(site_index)
         for name in names:
@@ -218,9 +213,7 @@ class RecoveryOrchestrator:
                     break
             if moved:
                 self._pending_migrate[name] = self.env.now
-                self.events.append(
-                    (self.env.now, fault.kind, MIGRATE, name)
-                )
+                self.events.append((self.env.now, fault.kind, MIGRATE, name))
             else:
                 self._retry(fault, name)
 
@@ -234,9 +227,7 @@ class RecoveryOrchestrator:
             if site.index == exclude or site.container.dead:
                 continue
             if ledger is not None and site.index in ledger.sites():
-                if ledger.is_failed(site.index) or ledger.is_drained(
-                    site.index
-                ):
+                if ledger.is_failed(site.index) or ledger.is_drained(site.index):
                     continue
                 candidates.append((-ledger.free(site.index), site.index))
             else:
@@ -254,23 +245,17 @@ class RecoveryOrchestrator:
             try:
                 self.pool.replace(session)
                 self.broker_failovers += 1
-                self.events.append(
-                    (self.env.now, fault.kind, "failover", session)
-                )
+                self.events.append((self.env.now, fault.kind, "failover", session))
             except VisitError:
                 self.unplaced += 1
-                self.events.append(
-                    (self.env.now, fault.kind, "unplaced", session)
-                )
+                self.events.append((self.env.now, fault.kind, "unplaced", session))
 
     def _rebuild_registry(self, fault: RegistryShardLoss) -> None:
         """Republish every live container's services — the containers are
         the source of truth; the registry is a cache over them."""
         restored = self.rebuild_registry()
         self.registry_rebuilds += 1
-        self.events.append((
-            self.env.now, fault.kind, "rebuild", f"{restored} entries"
-        ))
+        self.events.append((self.env.now, fault.kind, "rebuild", f"{restored} entries"))
 
     def rebuild_registry(self) -> int:
         front = next(
@@ -295,9 +280,7 @@ class RecoveryOrchestrator:
                 meta = self._metadata_for(sid)
                 if meta is None:
                     continue
-                handle = canonical.get(
-                    sid, f"gsh://{container.authority}/{sid}"
-                )
+                handle = canonical.get(sid, f"gsh://{container.authority}/{sid}")
                 try:
                     # An entry that survived on another shard keeps its
                     # richer metadata (the job id the orchestrator
@@ -363,9 +346,7 @@ class RecoveryOrchestrator:
             self.events.append((self.env.now, "escalation", ABANDON, name))
             return
         self._retry_counts[root] = attempt
-        retried = replace(
-            self.driver.spec_of(name), name=retry_name(root, attempt)
-        )
+        retried = replace(self.driver.spec_of(name), name=retry_name(root, attempt))
         self.controller.requeue(retried)
         self._pending_retry[retried.name] = (name, fault_t)
         self.events.append((self.env.now, "escalation", RETRY, name))

@@ -108,6 +108,18 @@ class LiveError(ReproError):
     a paced-runner misconfiguration, or a corrupt arrival trace."""
 
 
+class ObsError(ReproError):
+    """Observability layer failure: a malformed metric or label name, a
+    tracer used before its environment is bound, or a protection
+    primitive misconfigured (non-positive thresholds, zero quotas)."""
+
+
+class CircuitOpen(ObsError):
+    """An enforcing circuit breaker shed the call: the guarded
+    dependency (broker pool, registry) has been failing and the breaker
+    is in its open window — fail fast instead of feeding the timeout."""
+
+
 class CoviseError(ReproError):
     """COVISE substrate failure (bad module wiring, missing data object)."""
 

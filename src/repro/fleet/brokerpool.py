@@ -27,6 +27,10 @@ class BrokerPool:
         self._placement: dict[str, int] = {}
         #: sessions re-placed off a dead broker (chaos recovery metric)
         self.failovers = 0
+        #: observability wiring (set by Observability.attach_pool; both
+        #: default None so placement is untouched without obs)
+        self.tracer = None
+        self.breaker = None
 
     @classmethod
     def build(
@@ -43,7 +47,9 @@ class BrokerPool:
         for host_name in host_names:
             for k in range(brokers_per_host):
                 broker = VBroker(
-                    net.host(host_name), port + k, password,
+                    net.host(host_name),
+                    port + k,
+                    password,
                     request_timeout=request_timeout,
                 )
                 broker.start()
@@ -70,8 +76,12 @@ class BrokerPool:
         """
         if session in self._placement:
             return self.brokers[self._placement[session]]
+        if self.breaker is not None:
+            self.breaker.guard(f"broker placement for {session!r}")
         live = [i for i, b in enumerate(self.brokers) if b.alive]
         if not live:
+            if self.breaker is not None:
+                self.breaker.record_failure()
             raise VisitError(
                 f"cannot place session {session!r}: all "
                 f"{len(self.brokers)} vbrokers in the pool are dead"
@@ -80,6 +90,15 @@ class BrokerPool:
             self.brokers[i].prune_dead()
         idx = min(live, key=lambda i: (self.load(i), i))
         self._placement[session] = idx
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "place",
+                parent=self.tracer.session_root(session),
+                broker=idx,
+                host=self.brokers[idx].host.name,
+            )
         return self.brokers[idx]
 
     def broker_for(self, session: str) -> VBroker:

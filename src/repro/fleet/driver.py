@@ -104,6 +104,7 @@ class FleetDriver:
         observer_ops: int = 2,
         reservoir: int = 128,
         queue_slots: Optional[int] = None,
+        obs=None,
     ) -> None:
         if specs is not None and not specs:
             raise ReproError("a fleet needs at least one scenario spec")
@@ -114,6 +115,17 @@ class FleetDriver:
         self.specs = specs
         self.observer_ops = observer_ops
         self.telemetry = FleetTelemetry(reservoir=reservoir)
+        #: observability wiring — every slot stays None without an
+        #: attached :class:`repro.obs.Observability`, and every hook is
+        #: guarded on that None, so an unobserved fleet runs the exact
+        #: pre-obs code paths (byte-identical same-seed reports)
+        self.obs = obs
+        self._tracer = None
+        self._registry_breaker = None
+        self._steer_hist = None
+        self._find_hist = None
+        self._op_counter = None
+        self._viz_counter = None
         self.resolver = HandleResolver()
         self.shards = make_shards(registry_shards)
 
@@ -151,6 +163,8 @@ class FleetDriver:
         self.queue_slots = queue_slots
         for i in range(n_sites):
             self.sites.append(self._build_site(i, queue_slots=queue_slots))
+        if obs is not None:
+            obs.bind_driver(self)
         if self.specs:
             self._place_and_register()
 
@@ -183,8 +197,14 @@ class FleetDriver:
         container.deploy(registry)
         container.start()
         return FleetSite(
-            index=i, hpc_name=hpc_name, svc_name=svc_name, vsite=f"SITE-{i}",
-            gateway=gateway, njs=njs, tsi=tsi, container=container,
+            index=i,
+            hpc_name=hpc_name,
+            svc_name=svc_name,
+            vsite=f"SITE-{i}",
+            gateway=gateway,
+            njs=njs,
+            tsi=tsi,
+            container=container,
             registry=registry,
         )
 
@@ -196,21 +216,15 @@ class FleetDriver:
         if name is None:
             name = f"obs-{spec.profile}-{site.index}"
             self.net.add_host(name)
-            link_with_profile(
-                self.net, site.svc_name, name, PROFILES[spec.profile]
-            )
+            link_with_profile(self.net, site.svc_name, name, PROFILES[spec.profile])
             self._client_for[key] = name
         return name
 
-    def _register_session(
-        self, spec: ScenarioSpec, site: FleetSite
-    ) -> tuple[str, int]:
+    def _register_session(self, spec: ScenarioSpec, site: FleetSite) -> tuple[str, int]:
         """Register one session's application on a site; returns the
         participant host name and the session's control port."""
         if spec.name in self._specs_by_name:
-            raise ReproError(
-                f"session {spec.name!r} already admitted to this fleet"
-            )
+            raise ReproError(f"session {spec.name!r} already admitted to this fleet")
         self._specs_by_name[spec.name] = spec
         self.site_of[spec.name] = site.index
         client = self._client_host(site, spec)
@@ -260,27 +274,34 @@ class FleetDriver:
             site = self.sites[site]
         client, control_port = self._register_session(spec, site)
         if at is None or at <= self.env.now:
-            proc = self.env.process(
-                self._session(spec, site, client, control_port)
-            )
+            proc = self.env.process(self._session(spec, site, client, control_port))
         else:
-            proc = self.env.process(
-                self._admit_at(at, spec, site, client, control_port)
-            )
+            proc = self.env.process(self._admit_at(at, spec, site, client, control_port))
         self._track(spec, site, proc)
         return proc
 
-    def _track(self, spec: ScenarioSpec, site: FleetSite,
-               proc: Process) -> None:
+    def _track(self, spec: ScenarioSpec, site: FleetSite, proc: Process) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            root = tracer.open_session(spec.name, site=site.index)
+            if tracer.admit_span(spec.name) is None:
+                # Batch fleets skip the admission queue: a zero-length
+                # admit keeps the span tree shape uniform across modes.
+                tracer.record_admit(
+                    spec.name, tracer.instant("admit", parent=root, mode="batch")
+                )
         self.active[spec.name] = proc
         self._notify_session("start", spec.name, site.index)
 
     def _notify_session(self, kind: str, name: str, site_index: int) -> None:
+        if kind in ("complete", "fail", "cancel") and self._tracer is not None:
+            self._tracer.close_session(name, kind)
         for cb in self.session_observers:
             cb(kind, name, site_index)
 
-    def _admit_at(self, at: float, spec: ScenarioSpec, site: FleetSite,
-                  client: str, control_port: int):
+    def _admit_at(
+        self, at: float, spec: ScenarioSpec, site: FleetSite, client: str, control_port: int
+    ):
         try:
             yield self.env.timeout(at - self.env.now)
         except Interrupt as intr:
@@ -303,10 +324,7 @@ class FleetDriver:
 
     def sessions_at(self, site_index: int) -> list[str]:
         """Names of *running* sessions placed on a site."""
-        return sorted(
-            name for name in self.active
-            if self.site_of.get(name) == site_index
-        )
+        return sorted(name for name in self.active if self.site_of.get(name) == site_index)
 
     def site_of_host(self, host_name: str) -> Optional[int]:
         """The site index owning a host (HPC or service side), if any."""
@@ -358,9 +376,7 @@ class FleetDriver:
         already published elsewhere are immediately findable through its
         front-end.  Used by :class:`repro.load.autoscale.ReactiveAutoscaler`.
         """
-        site = self._build_site(
-            len(self.sites), queue_slots=queue_slots or self.queue_slots
-        )
+        site = self._build_site(len(self.sites), queue_slots=queue_slots or self.queue_slots)
         self.sites.append(site)
         return site
 
@@ -406,31 +422,59 @@ class FleetDriver:
         uc = UnicoreClient(
             client_host,
             UserIdentity(Certificate(f"CN={spec.name}", "CA"), spec.name),
-            site.hpc_name, GATEWAY_PORT,
+            site.hpc_name,
+            GATEWAY_PORT,
         )
         orch = RealityGridOrchestrator(
-            uc, site.container, self.resolver,
-            control_port=control_port, sample_port=control_port + 1,
+            uc,
+            site.container,
+            self.resolver,
+            control_port=control_port,
+            sample_port=control_port + 1,
         )
-        client = OgsaSteeringClient(
-            client_host, self.resolver, site.svc_name, CONTAINER_PORT
-        )
+        if self.obs is not None:
+            orch.on_viz_frame = self._viz_frame_hook(spec.name)
+        client = OgsaSteeringClient(client_host, self.resolver, site.svc_name, CONTAINER_PORT)
+        tracer = self._tracer
+        span_connect = None
+        if tracer is not None:
+            parent = tracer.admit_span(spec.name) or tracer.open_session(spec.name)
+            span_connect = tracer.begin("connect", cat="lifecycle", parent=parent, site=site.index)
         outcome = "fail"
         try:
             yield from uc.connect()
             yield from orch.launch(
-                spec.name, site.vsite,
-                arguments={"steps": spec.steps}, job_name=spec.name,
+                spec.name,
+                site.vsite,
+                arguments={"steps": spec.steps},
+                job_name=spec.name,
             )
             tel.record_admission(started, env.now)
+            if span_connect is not None:
+                tracer.end(span_connect, job=orch.job_id)
 
             t0 = env.now
-            found = yield from client.find_services(application=spec.name)
-            tel.record_find(env.now - t0)
-            steer = next(
-                e["handle"] for e in found
-                if e["metadata"]["type"] == "steering"
-            )
+            breaker = self._registry_breaker
+            if breaker is not None:
+                breaker.guard(f"registry find for {spec.name!r}")
+            span_find = None
+            if tracer is not None:
+                span_find = tracer.begin("find", cat="lifecycle", parent=span_connect)
+            try:
+                found = yield from client.find_services(application=spec.name)
+            except ReproError:
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            find_dt = env.now - t0
+            tel.record_find(find_dt)
+            if span_find is not None:
+                tracer.end(span_find, results=len(found))
+            if self._find_hist is not None:
+                self._find_hist.observe(find_dt)
+            steer = next(e["handle"] for e in found if e["metadata"]["type"] == "steering")
             yield from client.bind(steer)
             if spec.participants > 1:
                 for p in range(1, spec.participants):
@@ -442,6 +486,16 @@ class FleetDriver:
                     # ops, keep the session alive through a clean stop.
                     break
                 t0 = env.now
+                op_span = None
+                if tracer is not None:
+                    op_span = tracer.begin(
+                        "steer-op",
+                        cat="steer",
+                        parent=span_connect,
+                        op=k,
+                        kind="set_parameter" if k % 2 == 0 else "get_status",
+                    )
+                op_outcome = "ok"
                 try:
                     if k % 2 == 0:
                         overrides = self.steer_requests.get(spec.name)
@@ -449,18 +503,23 @@ class FleetDriver:
                         if value is None:
                             value = spec.steer_value(k // 2)
                         yield from client.invoke(
-                            steer, "set_parameter",
+                            steer,
+                            "set_parameter",
                             name=spec.steer_param,
                             value=value,
                         )
                     else:
                         yield from client.invoke(steer, "get_status")
                     tel.record_steer(env.now - t0)
+                    if self._steer_hist is not None:
+                        self._steer_hist.observe(env.now - t0)
                 except ReproError as exc:
                     if "timed out" in str(exc):
                         tel.record_timeout()
+                        op_outcome = "timeout"
                     else:
                         tel.record_error()
+                        op_outcome = "error"
                     # The service may have migrated out from under the
                     # stale binding — the GSH/GSR indirection makes a
                     # fresh resolve the cure, so try one before the next
@@ -470,6 +529,10 @@ class FleetDriver:
                         yield from client.rebind(steer)
                     except ReproError:
                         pass
+                if op_span is not None:
+                    tracer.end(op_span, outcome=op_outcome)
+                if self._op_counter is not None:
+                    self._op_counter.inc(outcome=op_outcome)
                 yield env.timeout(spec.cadence)
             try:
                 yield from client.invoke(steer, "stop")
@@ -494,8 +557,23 @@ class FleetDriver:
             self.steer_requests.pop(spec.name, None)
             self._notify_session(outcome, spec.name, site.index)
 
-    def _observer(self, spec: ScenarioSpec, site: FleetSite, steer: str,
-                  p: int):
+    def _viz_frame_hook(self, name: str):
+        """Span-event + counter callback the viz service fires per
+        ingested sample (only built when observability is attached)."""
+        counter = self._viz_counter
+        tracer = self._tracer
+
+        def on_frame(step: int) -> None:
+            if counter is not None:
+                counter.inc()
+            if tracer is not None:
+                root = tracer.session_root(name)
+                if root is not None:
+                    tracer.event(root, "viz-frame", step=step)
+
+        return on_frame
+
+    def _observer(self, spec: ScenarioSpec, site: FleetSite, steer: str, p: int):
         """An extra collaborator: binds the same steering service and
         watches status (the non-master participants of section 2.4)."""
         env = self.env
@@ -504,8 +582,10 @@ class FleetDriver:
             (site.index, spec.profile), self.ag_sites[p % len(self.ag_sites)]
         )
         client = OgsaSteeringClient(
-            self.net.host(client_name), self.resolver,
-            site.svc_name, CONTAINER_PORT,
+            self.net.host(client_name),
+            self.resolver,
+            site.svc_name,
+            CONTAINER_PORT,
         )
         try:
             yield from client.bind(steer)
@@ -532,15 +612,14 @@ class FleetDriver:
         plus the longest duration plus launch/teardown slack."""
         specs = self.specs or list(self._specs_by_name.values())
         if not specs:
-            raise ReproError(
-                "deadline() needs at least one spec (batch or admitted)"
-            )
+            raise ReproError("deadline() needs at least one spec (batch or admitted)")
         last = max(s.admission_offset for s in specs)
         longest = max(s.duration + s.cadence * 2 for s in specs)
         return last + longest + grace
 
-    def run(self, until: Optional[float] = None,
-            wall_seconds: Optional[float] = None) -> FleetReport:
+    def run(
+        self, until: Optional[float] = None, wall_seconds: Optional[float] = None
+    ) -> FleetReport:
         """Admit every session and run the world; returns the report."""
         for spec, site, client, port in self._placements:
             proc = self.env.process(self._session(spec, site, client, port))
@@ -550,14 +629,14 @@ class FleetDriver:
 
     def report(self, wall_seconds: Optional[float] = None) -> FleetReport:
         finished = [
-            t.finished_at
-            for t in self.telemetry.sessions.values()
-            if t.finished_at is not None
+            t.finished_at for t in self.telemetry.sessions.values() if t.finished_at is not None
         ]
         makespan = max(finished) if finished else self.env.now
         if math.isnan(makespan):
             makespan = self.env.now
         return FleetReport.from_telemetry(
-            self.telemetry, makespan=makespan, wall_seconds=wall_seconds,
+            self.telemetry,
+            makespan=makespan,
+            wall_seconds=wall_seconds,
             specs=dict(self._specs_by_name),
         )

@@ -125,8 +125,7 @@ class QueueSlice:
         ]
         if self.scale_ups or self.scale_downs:
             lines.append(
-                f"autoscale: +{self.scale_ups} sites grown, "
-                f"-{self.scale_downs} drained"
+                f"autoscale: +{self.scale_ups} sites grown, " f"-{self.scale_downs} drained"
             )
         if self.requeued:
             lines.append(f"recovery: {self.requeued} sessions requeued")

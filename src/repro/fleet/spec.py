@@ -99,9 +99,7 @@ class ScenarioSpec:
 
     def __post_init__(self) -> None:
         if self.sim not in SIM_KINDS:
-            raise SteeringError(
-                f"spec {self.name!r}: unknown sim kind {self.sim!r}"
-            )
+            raise SteeringError(f"spec {self.name!r}: unknown sim kind {self.sim!r}")
         if self.profile not in PROFILES:
             raise SteeringError(
                 f"spec {self.name!r}: unknown net profile {self.profile!r}; "
@@ -110,12 +108,11 @@ class ScenarioSpec:
         if self.participants < 1:
             raise SteeringError(f"spec {self.name!r}: need >= 1 participant")
         if self.cadence <= 0 or self.duration <= 0:
-            raise SteeringError(
-                f"spec {self.name!r}: cadence and duration must be > 0"
-            )
+            raise SteeringError(f"spec {self.name!r}: cadence and duration must be > 0")
         if self.steps is None:
             object.__setattr__(
-                self, "steps",
+                self,
+                "steps",
                 max(1, int((self.duration + 10.0) / self.compute_time)),
             )
         if self.steps < 1:
@@ -147,9 +144,7 @@ def rederive_steps(overrides: dict) -> dict:
     """A prototype's derived step budget must not survive an override of
     the inputs it was computed from; ``steps=None`` re-derives it in
     ``__post_init__``.  Mutates and returns ``overrides``."""
-    if "steps" not in overrides and (
-        "duration" in overrides or "compute_time" in overrides
-    ):
+    if "steps" not in overrides and ("duration" in overrides or "compute_time" in overrides):
         overrides["steps"] = None
     return overrides
 

@@ -184,8 +184,12 @@ class QueueTelemetry:
         c = self.by_class.get(name)
         if c is None:
             c = {
-                "offered": 0, "admitted": 0, "rejected": 0, "abandoned": 0,
-                "slo_met": 0, "requeued": 0,
+                "offered": 0,
+                "admitted": 0,
+                "rejected": 0,
+                "abandoned": 0,
+                "slo_met": 0,
+                "requeued": 0,
                 "wait": LatencyProbe(64, seed=20_011 + len(self.by_class)),
             }
             self.by_class[name] = c
@@ -274,9 +278,7 @@ class FleetTelemetry:
     def session(self, name: str) -> SessionTelemetry:
         tel = self.sessions.get(name)
         if tel is None:
-            tel = SessionTelemetry(
-                name, reservoir=self.reservoir, seed=len(self.sessions)
-            )
+            tel = SessionTelemetry(name, reservoir=self.reservoir, seed=len(self.sessions))
             self.sessions[name] = tel
         return tel
 

@@ -14,6 +14,7 @@ an arrival process:
     DELETE /sessions/{name}       cancel a running session
     GET    /healthz               liveness probe
     GET    /statsz                counters, pacing stats, backpressure
+    GET    /metricsz              Prometheus text exposition (repro.obs)
 
 Everything shares one asyncio thread: handlers mutate the DES world
 only between runner ticks, and each mutation lands on the kernel heap
@@ -47,6 +48,8 @@ from repro.live.http import (
 from repro.live.pacing import PacedRunner
 from repro.live.trace import TraceRecorder
 from repro.load import AdmissionController, ReactiveAutoscaler, make_policy
+from repro.obs import Observability
+from repro.obs.protect import BackpressureSignal
 
 #: fabric/pacing knobs; mirrors repro.campaign.runner.DEFAULT_BASE so a
 #: recorded trace replays on the fabric it was captured on
@@ -62,6 +65,16 @@ DEFAULT_CONFIG = {
     #: sim-seconds per wall-second; None = as fast as possible
     "rate": 1.0,
     "seed": 0,
+    #: observability (repro.obs): tracing is False, True, or a path the
+    #: span JSONL is written to on shutdown; breakers is True for the
+    #: default broker+registry set, a dict of name -> kwargs, or False;
+    #: quota is a per-tenant inflight cap (None = unlimited).  These
+    #: keys never reach the replay campaign cell (trace_campaign keeps
+    #: only the fabric base keys), so traced runs replay unchanged.
+    "tracing": False,
+    "metrics": True,
+    "breakers": True,
+    "quota": None,
 }
 
 #: POST /sessions body keys, passed through to the ScenarioSpec
@@ -99,10 +112,19 @@ class LiveServer:
         self.port = port
         self.config = merged
 
+        tracing = merged["tracing"]
+        self._trace_export = tracing if isinstance(tracing, str) else None
+        self.obs = Observability(
+            tracing=bool(tracing),
+            metrics=bool(merged["metrics"]),
+            breakers=merged["breakers"],
+            quota=merged["quota"],
+        )
         driver = FleetDriver(
             n_sites=int(merged["n_sites"]),
             queue_slots=int(merged["queue_slots"]),
             registry_shards=int(merged["registry_shards"]),
+            obs=self.obs,
         )
         self.driver = driver
         self.pool = BrokerPool.build(
@@ -110,16 +132,22 @@ class LiveServer:
             [site.svc_name for site in driver.sites],
             port=int(merged["broker_port"]),
         )
+        self.obs.attach_pool(self.pool)
         self.controller = AdmissionController(
             driver,
             placement=make_policy(merged["placement"], seed=self._placement_seed(trace_path)),
             queue_limit=int(merged["queue_limit"]),
         )
+        self.runner = PacedRunner(driver.env, rate=merged["rate"], max_tick=max_tick)
+        self.obs.attach_runner(self.runner)
+        self.backpressure_signal = BackpressureSignal(self.controller, runner=self.runner)
+        self.obs.attach_backpressure(self.backpressure_signal)
         autoscale = merged["autoscale"]
         if autoscale not in (None, False):
             kwargs = dict(autoscale) if isinstance(autoscale, dict) else {}
+            if kwargs.pop("use_backpressure", False) and "pressure" not in kwargs:
+                kwargs["pressure"] = self.backpressure_signal
             ReactiveAutoscaler(self.controller, **kwargs)
-        self.runner = PacedRunner(driver.env, rate=merged["rate"], max_tick=max_tick)
 
         self.recorder: Optional[TraceRecorder] = None
         if trace_path is not None:
@@ -138,6 +166,7 @@ class LiveServer:
             "cancels": 0,
             "bad_requests": 0,
         }
+        self.obs.attach_http_stats(self.stats)
         self._server: Optional[asyncio.AbstractServer] = None
         self._run_task: Optional[asyncio.Task] = None
 
@@ -225,6 +254,8 @@ class LiveServer:
         drain = await self.runner.finish(grace)
         if self.recorder is not None:
             self.recorder.close(sim=self.driver.env.now, wall=time.time())
+        if self._trace_export is not None:
+            self.obs.write_trace(self._trace_export)
         return drain
 
     async def serve_until(self, stop: asyncio.Event, grace: float = 60.0) -> dict:
@@ -253,11 +284,12 @@ class LiveServer:
                     return
                 if request is None:
                     return
-                status, payload, extra = self._route(request)
+                status, body, content_type, extra = self._route(request)
                 writer.write(
                     encode_response(
                         status,
-                        json_body(payload),
+                        body,
+                        content_type=content_type,
                         extra_headers=extra,
                         keep_alive=request.keep_alive,
                     )
@@ -274,20 +306,25 @@ class LiveServer:
             except (ConnectionError, OSError):
                 pass
 
-    def _route(self, request: Request) -> tuple[int, dict, list]:
+    def _route(self, request: Request) -> tuple[int, bytes, str, list]:
         """Dispatch one request; synchronous on purpose — the DES world
-        is only ever touched between runner awaits."""
+        is only ever touched between runner awaits.  Returns the encoded
+        body and its content type: JSON everywhere except ``/metricsz``,
+        whose Prometheus exposition is plain text."""
         self.stats["requests"] += 1
         try:
-            return self._dispatch(request)
+            status, payload, extra = self._dispatch(request)
         except HttpError as exc:
             self.stats["bad_requests"] += 1
-            return exc.status, {"error": exc.detail}, []
+            status, payload, extra = exc.status, {"error": exc.detail}, []
         except (SteeringError, LiveError) as exc:
             self.stats["bad_requests"] += 1
-            return 400, {"error": str(exc)}, []
+            status, payload, extra = 400, {"error": str(exc)}, []
         except ReproError as exc:
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}, []
+            status, payload, extra = 500, {"error": f"{type(exc).__name__}: {exc}"}, []
+        if isinstance(payload, bytes):
+            return status, payload, "text/plain; version=0.0.4; charset=utf-8", extra
+        return status, json_body(payload), "application/json", extra
 
     def _dispatch(self, request: Request) -> tuple[int, dict, list]:
         method, path = request.method, request.path
@@ -299,6 +336,10 @@ class LiveServer:
             if method != "GET":
                 raise HttpError(405, f"{method} {path}")
             return 200, self.statsz(), []
+        if path == "/metricsz":
+            if method != "GET":
+                raise HttpError(405, f"{method} {path}")
+            return 200, self.metricsz(), []
         if path == "/sessions":
             if method != "POST":
                 raise HttpError(405, f"{method} {path}")
@@ -327,6 +368,16 @@ class LiveServer:
             "active": len(self.driver.active),
             "queued": self.controller.queue_depth,
         }
+
+    def metricsz(self) -> bytes:
+        """The Prometheus text exposition, UTF-8 encoded.
+
+        503 when the server was built with ``metrics: False`` — a
+        scraper must see the difference between "no metrics here" and an
+        empty-but-healthy registry."""
+        if self.obs.metrics is None:
+            raise HttpError(503, "metrics are disabled in this server's config")
+        return self.obs.metrics.render().encode("utf-8")
 
     def statsz(self) -> dict:
         queue = self.driver.telemetry.queue

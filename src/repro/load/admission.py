@@ -38,15 +38,15 @@ QUEUED, ADMITTED, ABANDONED = "queued", "admitted", "abandoned"
 class _Queued:
     """One waiting session."""
 
-    __slots__ = ("spec", "cls", "offered_at", "seq", "state")
+    __slots__ = ("spec", "cls", "offered_at", "seq", "state", "span")
 
-    def __init__(self, spec, cls: SloClass, offered_at: float,
-                 seq: int) -> None:
+    def __init__(self, spec, cls: SloClass, offered_at: float, seq: int) -> None:
         self.spec = spec
         self.cls = cls
         self.offered_at = offered_at
         self.seq = seq
         self.state = QUEUED
+        self.span = None  # open "admit" span while queued (tracing only)
 
 
 class AdmissionController:
@@ -75,6 +75,14 @@ class AdmissionController:
         #: queue-transition subscribers ``cb(kind, **detail)`` — the
         #: chaos invariant monitor mirrors conservation laws off these
         self.observers: list[Callable] = []
+        #: observability wiring (set by Observability.attach_controller
+        #: when the driver was built with obs; both stay None otherwise
+        #: and every hook below is guarded on that None)
+        self.tracer = None
+        self.quotas = None
+        obs = getattr(driver, "obs", None)
+        if obs is not None:
+            obs.attach_controller(self)
         self._heap: list[tuple[int, int, _Queued]] = []
         self._queued = 0
         self._seq = 0
@@ -97,9 +105,27 @@ class AdmissionController:
         if self._queued >= self.queue_limit:
             self.telemetry.record_reject(cls.name)
             self._notify("reject", spec=spec, cls=cls.name)
+            self._trace_reject(spec, cls, "queue-full")
+            return False
+        if self.quotas is not None and not self.quotas.try_acquire(spec):
+            # The tenant is over its inflight cap: shed this offer even
+            # though the shared queue has room — one noisy tenant must
+            # not occupy every seat.  Counts as a reject (the offered ==
+            # admitted + rejected + abandoned + queued conservation law
+            # keeps holding) with the reason in the observer detail.
+            self.telemetry.record_reject(cls.name)
+            self._notify("reject", spec=spec, cls=cls.name, reason="quota")
+            self._trace_reject(spec, cls, "quota")
             return False
         self._enqueue(spec, cls, now)
         return True
+
+    def _trace_reject(self, spec, cls: SloClass, reason: str) -> None:
+        if self.tracer is None:
+            return
+        root = self.tracer.open_session(spec.name, cls=cls.name)
+        self.tracer.instant("reject", parent=root, reason=reason)
+        self.tracer.close_session(spec.name, "rejected")
 
     def requeue(self, spec, cls: Optional[SloClass] = None) -> None:
         """Re-enqueue a session displaced by a fault (recovery traffic).
@@ -119,6 +145,12 @@ class AdmissionController:
 
     def _enqueue(self, spec, cls: SloClass, now: float) -> None:
         entry = _Queued(spec, cls, offered_at=now, seq=self._seq)
+        if self.tracer is not None:
+            root = self.tracer.open_session(spec.name, cls=cls.name)
+            entry.span = self.tracer.record_admit(
+                spec.name,
+                self.tracer.begin("admit", cat="queue", parent=root, cls=cls.name),
+            )
         self._seq += 1
         heapq.heappush(self._heap, (cls.priority, entry.seq, entry))
         self._queued += 1
@@ -157,6 +189,11 @@ class AdmissionController:
             self._queued -= 1
             self.telemetry.record_abandon(entry.cls.name)
             self.telemetry.record_depth(self.env.now, self._queued)
+            if entry.span is not None:
+                self.tracer.end(entry.span, outcome="abandoned")
+                self.tracer.close_session(entry.spec.name, "abandoned")
+            if self.quotas is not None:
+                self.quotas.release(entry.spec.name)
             self._notify("abandon", spec=entry.spec, cls=entry.cls.name)
 
     def _peek(self) -> Optional[_Queued]:
@@ -190,9 +227,10 @@ class AdmissionController:
             met_slo = wait <= entry.cls.wait_slo
             self.telemetry.record_admit(entry.cls.name, wait, met_slo)
             self.telemetry.record_depth(now, self._queued)
+            if entry.span is not None:
+                self.tracer.end(entry.span, outcome="admitted", site=site, wait=wait)
             self.admissions.append((entry.spec.name, entry.cls.name, met_slo))
-            self._notify("admit", spec=entry.spec, cls=entry.cls.name,
-                         site=site, wait=wait)
+            self._notify("admit", spec=entry.spec, cls=entry.cls.name, site=site, wait=wait)
             self.env.process(self._run_session(entry, site))
 
     def _run_session(self, entry: _Queued, site: int):
@@ -205,6 +243,8 @@ class AdmissionController:
             pass
         finally:
             self.ledger.release(site)
+            if self.quotas is not None:
+                self.quotas.release(entry.spec.name)
             self._notify("release", site=site)
             self.kick()
 
@@ -258,7 +298,5 @@ class AdmissionController:
         sessions admitted near the end can finish.
         """
         self.feed(arrivals)
-        self.env.run(
-            until=arrivals.horizon + grace if until is None else until
-        )
+        self.env.run(until=arrivals.horizon + grace if until is None else until)
         return self.driver.report(wall_seconds=wall_seconds)

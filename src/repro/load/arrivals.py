@@ -75,8 +75,7 @@ class ArrivalProcess:
 class PoissonArrivals(ArrivalProcess):
     """Homogeneous Poisson arrivals at ``rate`` per virtual second."""
 
-    def __init__(self, rate: float, horizon: float, seed: int = 0,
-                 **kwargs) -> None:
+    def __init__(self, rate: float, horizon: float, seed: int = 0, **kwargs) -> None:
         if rate <= 0:
             raise LoadError("arrival rate must be > 0")
         super().__init__(horizon, **kwargs)
@@ -127,8 +126,15 @@ class DiurnalArrivals(_ThinnedArrivals):
     ``base_rate + amplitude`` with the given period (a compressed day):
     quiet at t=0, peaking mid-period."""
 
-    def __init__(self, base_rate: float, amplitude: float, period: float,
-                 horizon: float, seed: int = 0, **kwargs) -> None:
+    def __init__(
+        self,
+        base_rate: float,
+        amplitude: float,
+        period: float,
+        horizon: float,
+        seed: int = 0,
+        **kwargs,
+    ) -> None:
         if base_rate < 0 or amplitude < 0 or base_rate + amplitude <= 0:
             raise LoadError("diurnal rates must be non-negative, peak > 0")
         if period <= 0:
@@ -151,13 +157,18 @@ class FlashCrowdArrivals(_ThinnedArrivals):
     """Baseline Poisson traffic with a burst window at ``burst_rate``
     (the showfloor demo moment: everyone connects at once)."""
 
-    def __init__(self, base_rate: float, burst_rate: float, burst_at: float,
-                 burst_duration: float, horizon: float, seed: int = 0,
-                 **kwargs) -> None:
+    def __init__(
+        self,
+        base_rate: float,
+        burst_rate: float,
+        burst_at: float,
+        burst_duration: float,
+        horizon: float,
+        seed: int = 0,
+        **kwargs,
+    ) -> None:
         if base_rate <= 0 or burst_rate < base_rate:
-            raise LoadError(
-                "flash crowd needs base_rate > 0 and burst_rate >= base_rate"
-            )
+            raise LoadError("flash crowd needs base_rate > 0 and burst_rate >= base_rate")
         if burst_at < 0 or burst_duration <= 0:
             raise LoadError("burst window must lie in non-negative time")
         super().__init__(horizon, seed=seed, **kwargs)
@@ -184,15 +195,11 @@ def _validate_instants(raw: Sequence[float], what: str = "trace") -> list[float]
         try:
             t = float(value)
         except (TypeError, ValueError):
-            raise LoadError(
-                f"{what} instant [{i}] = {value!r} is not a number"
-            ) from None
+            raise LoadError(f"{what} instant [{i}] = {value!r} is not a number") from None
         if math.isnan(t) or math.isinf(t):
             raise LoadError(f"{what} instant [{i}] = {t!r} must be finite")
         if t < 0:
-            raise LoadError(
-                f"{what} instant [{i}] = {t!r} must be non-negative"
-            )
+            raise LoadError(f"{what} instant [{i}] = {t!r} must be non-negative")
         if instants and t < instants[-1]:
             raise LoadError(
                 f"{what} instant [{i}] = {t!r} goes back in time "
@@ -208,8 +215,9 @@ def _validate_instants(raw: Sequence[float], what: str = "trace") -> list[float]
 class TraceArrivals(ArrivalProcess):
     """Replay explicit arrival instants (e.g. recorded from a real run)."""
 
-    def __init__(self, instants: Sequence[float],
-                 horizon: Optional[float] = None, **kwargs) -> None:
+    def __init__(
+        self, instants: Sequence[float], horizon: Optional[float] = None, **kwargs
+    ) -> None:
         instants = _validate_instants(instants)
         if horizon is None:
             horizon = instants[-1] + 1e-9
@@ -234,15 +242,15 @@ class RecordedArrivals(ArrivalProcess):
     decide the same way.
     """
 
-    def __init__(self, entries: Sequence[tuple[float, ScenarioSpec]],
-                 horizon: Optional[float] = None) -> None:
+    def __init__(
+        self, entries: Sequence[tuple[float, ScenarioSpec]], horizon: Optional[float] = None
+    ) -> None:
         entries = list(entries)
         _validate_instants([at for at, _ in entries], what="recorded arrival")
         for i, (_, spec) in enumerate(entries):
             if not isinstance(spec, ScenarioSpec):
                 raise LoadError(
-                    f"recorded arrival [{i}] carries {type(spec).__name__}, "
-                    "not a ScenarioSpec"
+                    f"recorded arrival [{i}] carries {type(spec).__name__}, " "not a ScenarioSpec"
                 )
         names = [spec.name for _, spec in entries]
         if len(set(names)) != len(names):

@@ -36,15 +36,18 @@ class ReactiveAutoscaler:
         container_slots: int = 8,
         vbroker_slots: int = 8,
         grow_shards: bool = True,
+        use_backpressure: bool = False,
+        pressure=None,
+        pressure_high: float = 0.75,
     ) -> None:
         if max_sites < len(controller.driver.sites):
-            raise LoadError(
-                "max_sites is below the already-provisioned base fabric"
-            )
+            raise LoadError("max_sites is below the already-provisioned base fabric")
         if high_depth < 1 or low_depth < 0 or low_depth >= high_depth:
             raise LoadError("need 0 <= low_depth < high_depth, high >= 1")
         if interval <= 0 or cooldown < 0:
             raise LoadError("interval must be > 0 and cooldown >= 0")
+        if not 0.0 < pressure_high <= 1.0:
+            raise LoadError("pressure_high must be in (0, 1]")
         self.controller = controller
         self.driver = controller.driver
         self.env = controller.env
@@ -57,6 +60,18 @@ class ReactiveAutoscaler:
         self.container_slots = container_slots
         self.vbroker_slots = vbroker_slots
         self.grow_shards = grow_shards
+        self.pressure_high = pressure_high
+        #: optional :class:`repro.obs.protect.BackpressureSignal`; when
+        #: set (directly or via ``use_backpressure``) a pressure reading
+        #: at/above ``pressure_high`` forces growth and vetoes drains
+        #: even while the raw queue depth looks calm — the catch-up
+        #: component sees a live runner falling behind before the queue
+        #: backs up.
+        self.pressure = pressure
+        if use_backpressure and self.pressure is None:
+            from repro.obs.protect import BackpressureSignal
+
+            self.pressure = BackpressureSignal(controller)
         #: site indices this scaler built (the only ones it may drain)
         self.added_sites: list[int] = []
         #: (virtual time, "grow" | "drain", site index) audit trail
@@ -75,9 +90,10 @@ class ReactiveAutoscaler:
         if self.env.now - self._last_action < self.cooldown:
             return
         depth = self.controller.queue_depth
-        if depth >= self.high_depth and self.active_sites() < self.max_sites:
+        pressured = (self.pressure is not None and self.pressure.pressure() >= self.pressure_high)
+        if (depth >= self.high_depth or pressured) and self.active_sites() < self.max_sites:
             self._grow()
-        elif depth <= self.low_depth:
+        elif depth <= self.low_depth and not pressured:
             self._drain_one_idle()
 
     def active_sites(self) -> int:
@@ -108,10 +124,7 @@ class ReactiveAutoscaler:
 
     def _drain_one_idle(self) -> None:
         ledger = self.controller.ledger
-        idle = [
-            i for i in self.added_sites
-            if not ledger.is_drained(i) and ledger.inflight(i) == 0
-        ]
+        idle = [i for i in self.added_sites if not ledger.is_drained(i) and ledger.inflight(i) == 0]
         if not idle:
             return
         idx = idle[-1]  # newest first: shrink back toward the base fabric

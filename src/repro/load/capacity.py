@@ -34,12 +34,10 @@ class SiteCapacity:
     @property
     def slots(self) -> int:
         """The effective concurrency bound: the tightest layer wins."""
-        return min(self.gateway_slots, self.container_slots,
-                   self.vbroker_slots)
+        return min(self.gateway_slots, self.container_slots, self.vbroker_slots)
 
 
-def capacity_of(site, container_slots: int = 8,
-                vbroker_slots: int = 8) -> SiteCapacity:
+def capacity_of(site, container_slots: int = 8, vbroker_slots: int = 8) -> SiteCapacity:
     """Capacity model for a :class:`~repro.fleet.driver.FleetSite`.
 
     The gateway bound is read off the fabric itself (the TSI batch
@@ -127,8 +125,7 @@ class CapacityLedger:
             raise LoadError(f"site {index} is failed; cannot place there")
         if self._inflight[index] >= self._slots[index]:
             raise LoadError(
-                f"site {index} is full "
-                f"({self._inflight[index]}/{self._slots[index]})"
+                f"site {index} is full " f"({self._inflight[index]}/{self._slots[index]})"
             )
         self._inflight[index] += 1
 
@@ -159,10 +156,7 @@ class CapacityLedger:
         return sorted(self._slots)
 
     def active_sites(self) -> list[int]:
-        return [
-            i for i in self.sites()
-            if i not in self._drained and i not in self._failed
-        ]
+        return [i for i in self.sites() if i not in self._drained and i not in self._failed]
 
     def drained_sites(self) -> list[int]:
         return sorted(self._drained)
@@ -199,14 +193,14 @@ class CapacityLedger:
         }
 
     @classmethod
-    def for_driver(cls, driver, container_slots: int = 8,
-                   vbroker_slots: int = 8) -> "CapacityLedger":
+    def for_driver(
+        cls, driver, container_slots: int = 8, vbroker_slots: int = 8
+    ) -> "CapacityLedger":
         """A ledger covering every site the driver currently has."""
         ledger = cls()
         for site in driver.sites:
             ledger.register_site(
                 site.index,
-                capacity_of(site, container_slots=container_slots,
-                            vbroker_slots=vbroker_slots),
+                capacity_of(site, container_slots=container_slots, vbroker_slots=vbroker_slots),
             )
         return ledger

@@ -31,9 +31,7 @@ class SloClass:
 
     def __post_init__(self) -> None:
         if self.wait_slo <= 0 or self.patience <= 0:
-            raise LoadError(
-                f"class {self.name!r}: wait_slo and patience must be > 0"
-            )
+            raise LoadError(f"class {self.name!r}: wait_slo and patience must be > 0")
         if self.patience < self.wait_slo:
             raise LoadError(
                 f"class {self.name!r}: patience {self.patience} below the "

@@ -1,0 +1,82 @@
+"""Bridge sim-time causality and wall-time attribution in one trace.
+
+The :class:`~repro.obs.tracer.Tracer` answers *what caused what* in
+virtual time; the :class:`~repro.perf.profiler.Profiler` answers *where
+the wall clock went* per kernel component.  Perfetto can show both at
+once: this module writes a single Chrome-trace file with the span tree
+on pid 1 (sim microseconds) and the profiler's per-component totals as
+a synthetic lane on pid 2 (wall microseconds, laid end to end in
+descending cost order, so the lane reads as a flame-graph footer).
+
+Only the pid-1 payload is deterministic; the pid-2 lane carries real
+wall time and is for eyeballs, not for golden pins — use
+:meth:`Tracer.write_jsonl` when byte-stability matters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+def chrome_events(tracer, profiler=None) -> list[dict]:
+    """Tracer events plus an optional profiler wall-time lane."""
+    events = list(tracer.to_events())
+    if profiler is None:
+        return events
+    events.append(
+        {
+            "ph": "M",
+            "pid": 2,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "wall-time (profiler)"},
+        }
+    )
+    report = profiler.report()
+    cursor = 0.0
+    for row in report["components"]:
+        dur = row["seconds"] * 1e6
+        events.append(
+            {
+                "ph": "X",
+                "pid": 2,
+                "tid": 0,
+                "name": row["component"],
+                "cat": "wall",
+                "ts": cursor,
+                "dur": dur,
+                "args": {"calls": row["calls"], "seconds": row["seconds"]},
+            }
+        )
+        cursor += dur
+    events.append(
+        {
+            "ph": "i",
+            "pid": 2,
+            "tid": 0,
+            "name": "totals",
+            "cat": "wall",
+            "ts": cursor,
+            "s": "p",
+            "args": {
+                "wall_seconds": report["wall_seconds"],
+                "events": report["events"],
+                "events_per_sec": report["events_per_sec"],
+            },
+        }
+    )
+    return events
+
+
+def write_chrome_trace(path, tracer, profiler=None) -> int:
+    """Write the combined trace as JSONL; returns the event count.
+
+    ``chrome://tracing`` and https://ui.perfetto.dev open the file
+    directly (the JSON-lines form of the Trace Event format).
+    """
+    events = chrome_events(tracer, profiler=profiler)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(events)

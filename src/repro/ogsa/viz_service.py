@@ -40,6 +40,9 @@ class VisualizationService(GridService):
         self.latest_field: Optional[np.ndarray] = None
         self.latest_step = -1
         self.frames_rendered = 0
+        #: observability hook ``cb(step)`` fired per ingested sample
+        #: (set by the orchestrator when tracing is attached; None = off)
+        self.on_frame = None
         self._prev_frame = None
         self.service_data["field"] = field_key
         self.service_data["viewport"] = [width, height]
@@ -63,6 +66,8 @@ class VisualizationService(GridService):
                 if isinstance(msg, SampleMsg) and self.field_key in msg.data:
                     self.latest_field = np.asarray(msg.data[self.field_key])
                     self.latest_step = msg.step
+                    if self.on_frame is not None:
+                        self.on_frame(msg.step)
             # Idle pumps park on the link instead of burning empty poll
             # events — virtual-time behaviour is identical (parked_tick).
             if progressed:

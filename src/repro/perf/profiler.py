@@ -10,11 +10,19 @@ run pays nothing).  Each event callback's wall time is attributed to a
   directly onto the simulated middleware's moving parts;
 * other bound-method callbacks to ``Type.method`` (e.g. a condition's
   ``_check``);
-* bare functions/lambdas (delivery callbacks) to their qualified name.
+* bare functions/lambdas (delivery callbacks) to their qualified name,
+  unwrapping ``functools.partial`` chains to the wrapped callable.
+
+Component names are **stable across runs**: two identical simulations
+produce identical attribution keys, so profiles can be diffed.  That is
+why the fallback for exotic callables is the callable's *type*
+(``module.Qualname``), never ``repr()`` — a repr carries the object's
+memory address, different every run.
 """
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import Optional
 
@@ -25,14 +33,26 @@ _PROCESS_RESUME = Process._resume
 
 def _component_of(cb, event) -> str:
     """Stable component name for one event callback."""
+    wrapped = False
+    while isinstance(cb, functools.partial):
+        cb = cb.func
+        wrapped = True
     func = getattr(cb, "__func__", None)
     owner = getattr(cb, "__self__", None)
     if func is _PROCESS_RESUME:
         gen = owner._generator
-        return getattr(gen, "__name__", type(owner).__name__)
-    if owner is not None:
-        return f"{type(owner).__name__}.{func.__name__}"
-    return getattr(cb, "__qualname__", repr(cb))
+        name = getattr(gen, "__name__", type(owner).__name__)
+    elif owner is not None:
+        name = f"{type(owner).__name__}.{func.__name__}"
+    else:
+        name = getattr(cb, "__qualname__", None)
+        if name is None:
+            # Callable instances (__call__ objects, C callables): the
+            # type is the stable identity; repr() would embed a memory
+            # address, different every run.
+            cls = type(cb)
+            name = f"{cls.__module__}.{cls.__qualname__}"
+    return f"partial({name})" if wrapped else name
 
 
 class Profiler:

@@ -59,6 +59,10 @@ class RealityGridOrchestrator:
         self.field_key = field_key
         self.job_id: Optional[str] = None
         self.handles: dict[str, str] = {}
+        #: per-sample callback ``cb(step)`` handed to the deployed
+        #: visualization service (observability's viz-frame span events);
+        #: None — the default — deploys the service exactly as before
+        self.on_viz_frame: Optional[Callable[[int], None]] = None
 
     def launch(
         self,
@@ -107,6 +111,8 @@ class RealityGridOrchestrator:
             f"viz-{job_name}", LinkAdapter(sample_conn),
             field_key=self.field_key,
         )
+        if self.on_viz_frame is not None:
+            viz.on_frame = self.on_viz_frame
         steer_ref = self.container.deploy(steer)
         viz_ref = self.container.deploy(viz)
         self.resolver.bind(steer_ref)

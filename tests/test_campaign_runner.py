@@ -238,3 +238,29 @@ def test_cli_diff_marginal_threshold_gate(reference, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "marginal drift vs threshold 0.1" in out
     assert "0 exceeded, 0 missing" in out
+
+
+def test_html_dashboard_renders_and_is_deterministic(reference, tmp_path,
+                                                     capsys):
+    from repro.campaign.dashboard import render_html
+
+    store, matrix = reference
+    page = render_html(matrix, baseline=matrix, drift_threshold=0.05)
+    assert page.startswith("<!DOCTYPE html>")
+    assert "<script" not in page  # fully static artifact
+    assert "<svg" in page and "drift vs. baseline" in page
+    for cell in matrix.cells:
+        assert cell["cell_id"] in page
+    assert render_html(matrix, baseline=matrix) == page  # byte-stable
+
+    out_path = tmp_path / "dash.html"
+    assert cli_main([
+        "report", "--store", str(store.path), "--html", str(out_path),
+        "--baseline", str(store.path),
+    ]) == 0
+    assert "dashboard written" in capsys.readouterr().out
+    assert out_path.read_text() == page
+    # --baseline without --html is a clean usage error.
+    assert cli_main([
+        "report", "--store", str(store.path), "--baseline", str(store.path),
+    ]) == 2

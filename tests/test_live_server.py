@@ -146,6 +146,57 @@ def test_steer_and_cancel_running_session():
     asyncio.run(go())
 
 
+def test_metricsz_serves_prometheus_text():
+    async def go():
+        server = LiveServer(config=dict(FAST))
+        await server.start()
+        try:
+            args = (server.host, server.port)
+            resp = await request(*args, "POST", "/sessions", _session_body())
+            name = resp.json()["name"]
+            await _wait_state(server, name, {"completed"})
+
+            scrape = await request(*args, "GET", "/metricsz")
+            assert scrape.status == 200
+            assert scrape.headers["content-type"].startswith("text/plain")
+            text = scrape.body.decode("utf-8")
+            assert text.endswith("\n")
+            # Admission, pacing and circuit-breaker series all exposed.
+            for needle in (
+                "# TYPE repro_admission_offered_total counter",
+                "repro_admission_offered_total 1",
+                "# TYPE repro_pacing_ticks_total counter",
+                "# TYPE repro_circuit_state gauge",
+                'repro_circuit_state{breaker="broker"} 0',
+                "repro_backpressure 0",
+                "# TYPE repro_http_requests_total counter",
+            ):
+                assert needle in text, needle
+            # Every sample line parses as "<series> <float>".
+            for line in text.splitlines():
+                if not line.startswith("#"):
+                    float(line.rpartition(" ")[2])
+            assert (await request(*args, "POST", "/metricsz")).status == 405
+        finally:
+            await server.shutdown(grace=30.0)
+
+    asyncio.run(go())
+
+
+def test_metricsz_503_when_metrics_disabled():
+    async def go():
+        server = LiveServer(config=dict(FAST, metrics=False))
+        await server.start()
+        try:
+            resp = await request(server.host, server.port, "GET", "/metricsz")
+            assert resp.status == 503
+            assert "disabled" in resp.json()["error"]
+        finally:
+            await server.shutdown(grace=0.0)
+
+    asyncio.run(go())
+
+
 def _record_session(trace_path, n=4):
     """Serve briefly, offer ``n`` sessions, shut down; returns statsz."""
 

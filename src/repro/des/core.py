@@ -7,9 +7,12 @@ Design notes
 * A :class:`Process` wraps a generator.  The generator yields events; when
   a yielded event is processed the process resumes with the event's value,
   or has the event's exception thrown into it.
-* Time only advances in :meth:`Environment.run`; scheduling is a binary
-  heap keyed by ``(time, priority, sequence)`` so same-time events fire in
-  FIFO order — this determinism is load-bearing for tests.
+* Time only advances in :meth:`Environment.run`; scheduling is a priority
+  queue keyed by ``(time, priority, sequence)`` so same-time events fire in
+  FIFO order — this determinism is load-bearing for tests.  The queue
+  itself is pluggable (:mod:`repro.des.sched`): a calendar-queue backend
+  for O(1) amortized scheduling at depth, with the PR-4 binary heap kept
+  as the reference backend; both pop in bit-identical order.
 * Failed events must be consumed.  If a failed event is processed and no
   waiter "defused" it, the exception propagates out of ``run()`` — silent
   failure of a simulated component would otherwise be invisible.
@@ -37,11 +40,11 @@ Hot-path notes (the fleet pushes millions of events through this file)
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
 from sys import getrefcount
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.des.sched import make_scheduler
 from repro.errors import SimulationError
 
 _PENDING = object()
@@ -337,9 +340,16 @@ class AllOf(Condition):
 class Environment:
     """Owner of virtual time and the event queue."""
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, scheduler=None) -> None:
         self.now = float(initial_time)
-        self._heap: list = []
+        #: pluggable event queue (:mod:`repro.des.sched`): ``scheduler``
+        #: may be a backend name, an instance, or None (consult the
+        #: ``REPRO_DES_SCHEDULER`` env var, then the default backend).
+        #: ``push``/``pop`` are bound once — the hot paths below go
+        #: through these attributes, never through a lookup per event.
+        self._sched = make_scheduler(scheduler)
+        self._push = self._sched.push
+        self._pop = self._sched.pop
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._pending_failures: deque[BaseException] = deque()
@@ -366,7 +376,7 @@ class Environment:
 
     def _enqueue(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        self._push((self.now + delay, priority, self._seq, event))
         if self.on_schedule is not None:
             self.on_schedule()
 
@@ -399,7 +409,7 @@ class Environment:
         ev = self._fresh_timeout(value)
         ev.delay = delay
         self._seq += 1
-        heappush(self._heap, (self.now + delay, NORMAL, self._seq, ev))
+        self._push((self.now + delay, NORMAL, self._seq, ev))
         return ev
 
     def timeout_until(self, at: float, value: Any = None) -> Timeout:
@@ -414,7 +424,7 @@ class Environment:
         ev = self._fresh_timeout(value)
         ev.delay = at - self.now
         self._seq += 1
-        heappush(self._heap, (at, NORMAL, self._seq, ev))
+        self._push((at, NORMAL, self._seq, ev))
         return ev
 
     def process(self, generator: Generator) -> Process:
@@ -430,14 +440,19 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._sched.peek_time()
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        return len(self._sched)
 
     def step(self) -> None:
         """Process exactly one event."""
-        heap = self._heap
-        if not heap:
-            raise SimulationError("step() on an empty schedule")
-        time, _prio, _seq, event = heappop(heap)
+        try:
+            time, _prio, _seq, event = self._pop()
+        except IndexError:
+            raise SimulationError("step() on an empty schedule") from None
         if time < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = time
@@ -482,10 +497,10 @@ class Environment:
         instrumentation.  Tolerates the profiler being detached mid-run:
         remaining steps simply stop recording.
         """
-        heap = self._heap
-        if not heap:
-            raise SimulationError("step() on an empty schedule")
-        time, _prio, _seq, event = heappop(heap)
+        try:
+            time, _prio, _seq, event = self._pop()
+        except IndexError:
+            raise SimulationError("step() on an empty schedule") from None
         if time < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = time
@@ -513,8 +528,9 @@ class Environment:
         step = self.step if self._profiler is None else self._step_profiled
         if isinstance(until, Event):
             stop = until
+            sched = self._sched
             while stop._value is _PENDING:
-                if not self._heap:
+                if not len(sched):
                     raise SimulationError("schedule drained before the awaited event triggered")
                 step()
             if not stop._ok:
@@ -525,9 +541,21 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self.now:
             raise SimulationError(f"run(until={deadline}) is in the past (now={self.now})")
-        heap = self._heap
-        while heap and heap[0][0] <= deadline:
-            step()
+        heap = getattr(self._sched, "raw_heap", None)
+        if heap is not None:
+            # Reference backend: keep the PR-4 inline drain loop — no
+            # method call per event on the hottest loop in the repo.
+            while heap and heap[0][0] <= deadline:
+                step()
+        else:
+            peek = self._sched.peek_time
+            sched_len = self._sched.__len__
+            if deadline == float("inf"):
+                while sched_len():
+                    step()
+            else:
+                while peek() <= deadline:
+                    step()
         if deadline != float("inf"):
             self.now = deadline
         return None

@@ -1,0 +1,344 @@
+"""Pluggable event-queue backends for the DES kernel.
+
+The kernel's contract with its scheduler is tiny and exact: events are
+``(time, priority, seq, event)`` tuples, and :meth:`pop` must return
+them in strictly ascending tuple order — the ``(time, priority, seq)``
+tie-break is load-bearing for every golden-pinned determinism test in
+the repo.  ``seq`` is unique (the :class:`~repro.des.core.Environment`
+assigns it), so the trailing event object is never compared.
+
+Two backends implement the contract:
+
+* :class:`HeapScheduler` — the reference backend: one binary heap via C
+  ``heapq``, exactly the PR-4 kernel.  O(log n) per operation, but with
+  C constants so small it wins at shallow depths.
+* :class:`CalendarScheduler` — a calendar queue (Brown '88) with the
+  non-wrapping dict-of-years layout of a one-rung ladder queue.  Time
+  is cut into *years* of ``width`` virtual seconds; pending events land
+  unsorted in their year's bucket (an O(1) append) and a bucket is only
+  sorted — once, in C — when the dequeue cursor reaches it.  A small
+  heap over the populated year keys makes skipping empty years O(log
+  #years) instead of O(gap/width), so sleep-forever sentinels (the
+  ``timeout(1e9)`` pattern) cost nothing.  Amortized O(1) per event
+  once the adaptive width settles, and far better cache behaviour than
+  a deep binary heap — the deeper the schedule, the bigger the win.
+
+Why the dequeue cursor can be monotonic: the kernel only schedules at
+``now + delay`` with ``delay >= 0`` (``timeout_until`` validates ``at >=
+now``), and ``now`` is the time of the last popped event — so a push is
+never earlier than the most recent pop.  Pushes that land in the year
+currently being drained are bisected into the sorted remainder (``lo``
+bounded by the cursor), which preserves the exact tuple order even for
+an urgent event injected at the current instant.
+
+Adaptive width
+--------------
+Bucket occupancy is what the width tunes.  Two triggers, both driven by
+the deterministic push/pop sequence (so same-seed runs resize at the
+same instants):
+
+* **shrink** — a bucket exceeding ``max_occupancy`` on push multiplies
+  the width by ``target_occupancy / len(bucket)`` and rebuilds;
+* **widen** — every ``adapt_interval`` pops, if the measured
+  items-per-opened-year ratio fell below ``target_occupancy / 4``, the
+  width grows by the shortfall factor and rebuilds.
+
+A rebuild is O(pending) and triggers happen geometrically, so the
+amortized cost per event stays O(1).
+
+Adding a backend
+----------------
+Implement ``push(item)``, ``pop() -> item`` (raising :class:`IndexError`
+when empty), ``peek_time() -> float`` (``inf`` when empty) and
+``__len__``, give it a ``name``, and register it in
+:data:`BACKENDS`.  Selection happens per :class:`Environment` via the
+``scheduler=`` kwarg or the ``REPRO_DES_SCHEDULER`` environment
+variable; the cross-backend harness in ``tests/test_des_sched.py`` and
+the per-backend floors in ``repro.perf.gate --kernel`` then cover it
+automatically via :func:`available_backends`.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import insort
+from functools import partial
+from heapq import heappop, heappush
+from math import floor, inf, isfinite
+
+from repro.errors import SimulationError
+
+#: scheduler used when neither the ``scheduler=`` kwarg nor the
+#: environment variable picks one
+DEFAULT_BACKEND = "calendar"
+
+#: environment variable consulted by :func:`make_scheduler` — the lever
+#: the cross-backend determinism harness flips without touching any
+#: scenario code
+ENV_VAR = "REPRO_DES_SCHEDULER"
+
+#: event times at or beyond this horizon bypass year indexing and live
+#: in a small overflow heap — keeps ``floor(t / width)`` sane for
+#: sleep-until-the-heat-death sentinels (``timeout(1e9)`` ladders are
+#: still bucketed normally; this catches ``inf`` and the truly absurd)
+_FAR_HORIZON = 1e18
+
+
+class HeapScheduler:
+    """Reference backend: a single binary heap driven by C ``heapq``.
+
+    ``push``/``pop`` are bound ``functools.partial`` objects over the C
+    functions, so the kernel's hot paths pay no Python frame per event —
+    this *is* the PR-4 scheduler, behind the seam.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_q", "push", "pop", "raw_heap")
+
+    def __init__(self) -> None:
+        self._q: list = []
+        self.push = partial(heappush, self._q)
+        self.pop = partial(heappop, self._q)
+        #: the underlying list, exposed so ``Environment.run`` can keep
+        #: its inline drain loop on the reference backend
+        self.raw_heap = self._q
+
+    def peek_time(self) -> float:
+        q = self._q
+        return q[0][0] if q else inf
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class CalendarScheduler:
+    """Calendar queue: dict-of-year buckets + sort-on-open cursor."""
+
+    name = "calendar"
+
+    __slots__ = (
+        "_width",
+        "_inv_w",
+        "_buckets",
+        "_years",
+        "_cur",
+        "_cur_year",
+        "_cur_idx",
+        "_far",
+        "_size",
+        "_pops",
+        "_years_opened",
+        "_target",
+        "_max_occ",
+        "_adapt_interval",
+        "resizes",
+    )
+
+    def __init__(
+        self,
+        width: float = 1.0,
+        target_occupancy: int = 16,
+        max_occupancy: int = 4096,
+        adapt_interval: int = 4096,
+    ) -> None:
+        if not isfinite(width) or width <= 0.0:
+            raise SimulationError(f"calendar bucket width must be positive, got {width!r}")
+        if target_occupancy < 1 or max_occupancy < target_occupancy:
+            raise SimulationError("need 1 <= target_occupancy <= max_occupancy")
+        self._width = float(width)
+        self._inv_w = 1.0 / self._width
+        #: year index -> unsorted list of pending items (non-current years)
+        self._buckets: dict = {}
+        #: heap of year keys with a bucket present (one entry per key)
+        self._years: list = []
+        #: the sorted current-year run; slots behind the cursor are None
+        self._cur = None
+        self._cur_year = None
+        self._cur_idx = 0
+        #: items at/beyond the far horizon, ordered by full tuple
+        self._far: list = []
+        self._size = 0
+        self._pops = 0
+        self._years_opened = 0
+        self._target = int(target_occupancy)
+        self._max_occ = int(max_occupancy)
+        self._adapt_interval = int(adapt_interval)
+        #: width rebuilds performed (observability/tests)
+        self.resizes = 0
+
+    # -- the contract --------------------------------------------------
+
+    def push(self, item) -> None:
+        t = item[0]
+        self._size += 1
+        if t >= _FAR_HORIZON:
+            heappush(self._far, item)
+            return
+        y = floor(t * self._inv_w)
+        cur = self._cur
+        if cur is not None and y <= self._cur_year:
+            # Lands in the year being drained: bisect into the sorted
+            # remainder.  The cursor lower bound keeps the popped
+            # (None) slots out of the comparison and pins an item for
+            # the current instant to pop next, exactly like the heap.
+            insort(cur, item, lo=self._cur_idx)
+            if len(cur) - self._cur_idx == self._max_occ:
+                self._maybe_shrink(cur[self._cur_idx :])
+            return
+        b = self._buckets.get(y)
+        if b is None:
+            self._buckets[y] = [item]
+            heappush(self._years, y)
+        else:
+            b.append(item)
+            if len(b) == self._max_occ:
+                self._maybe_shrink(b)
+
+    def pop(self):
+        cur = self._cur
+        if cur is None:
+            if self._years:
+                cur = self._open_next()
+            elif self._far:
+                self._size -= 1
+                return heappop(self._far)
+            else:
+                raise IndexError("pop from an empty scheduler")
+        i = self._cur_idx
+        item = cur[i]
+        far = self._far
+        if far and far[0] < item:
+            self._size -= 1
+            return heappop(far)
+        cur[i] = None  # drop the ref: timeout recycling counts holders
+        i += 1
+        if i >= len(cur):
+            self._cur = None
+        else:
+            self._cur_idx = i
+        self._size -= 1
+        self._pops += 1
+        return item
+
+    def peek_time(self) -> float:
+        cur = self._cur
+        if cur is None:
+            if self._years:
+                cur = self._open_next()
+            elif self._far:
+                return self._far[0][0]
+            else:
+                return inf
+        t = cur[self._cur_idx][0]
+        far = self._far
+        if far and far[0][0] < t:
+            return far[0][0]
+        return t
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- internals -----------------------------------------------------
+
+    def _open_next(self):
+        """Promote the earliest populated year to the current run."""
+        if self._pops >= self._adapt_interval:
+            self._maybe_widen()
+        y = heappop(self._years)
+        b = self._buckets.pop(y)
+        b.sort()
+        self._cur = b
+        self._cur_year = y
+        self._cur_idx = 0
+        self._years_opened += 1
+        return b
+
+    def _maybe_widen(self) -> None:
+        occupancy = self._pops / max(1, self._years_opened)
+        self._pops = 0
+        self._years_opened = 0
+        if occupancy < self._target / 4 and self._size >= 64:
+            self._rebuild(self._width * self._target / max(occupancy, 0.5))
+
+    def _maybe_shrink(self, items) -> None:
+        """A bucket crossed ``max_occupancy``: shrink the width so its
+        *span* re-buckets near the target occupancy.  A same-instant
+        flood (a fleet's worth of inits at t=0) has zero span — no
+        width can split it, so it stays one bucket and one C sort
+        handles it; shrinking blindly by count used to drive the width
+        to zero chasing it."""
+        lo = hi = items[0][0]
+        for item in items:
+            t = item[0]
+            if t < lo:
+                lo = t
+            elif t > hi:
+                hi = t
+        span = hi - lo
+        if span <= 0.0:
+            return
+        width = span * self._target / len(items)
+        if width < self._width:
+            self._rebuild(width)
+
+    def _rebuild(self, width: float) -> None:
+        """Re-bucket every pending item under a new width (far heap and
+        total size are untouched)."""
+        if not isfinite(width) or width <= 0.0 or not isfinite(1.0 / width):
+            return
+        items = []
+        cur = self._cur
+        if cur is not None:
+            items.extend(cur[self._cur_idx :])
+        for b in self._buckets.values():
+            items.extend(b)
+        self._width = width
+        inv_w = self._inv_w = 1.0 / width
+        self._buckets = buckets = {}
+        self._years = years = []
+        self._cur = None
+        self._cur_year = None
+        self._cur_idx = 0
+        self.resizes += 1
+        for item in items:
+            y = floor(item[0] * inv_w)
+            b = buckets.get(y)
+            if b is None:
+                buckets[y] = [item]
+                heappush(years, y)
+            else:
+                b.append(item)
+
+
+#: registered backend names -> constructors
+BACKENDS = {
+    "heap": HeapScheduler,
+    "calendar": CalendarScheduler,
+}
+
+
+def available_backends() -> tuple:
+    """Backend names, reference first — what harnesses iterate over."""
+    return tuple(BACKENDS)
+
+
+def make_scheduler(spec=None):
+    """Resolve a scheduler: an instance passes through, a name
+    constructs, ``None`` consults :data:`ENV_VAR` then
+    :data:`DEFAULT_BACKEND`."""
+    if spec is None:
+        spec = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    if not isinstance(spec, str):
+        missing = [m for m in ("push", "pop", "peek_time", "__len__") if not hasattr(spec, m)]
+        if missing:
+            raise SimulationError(
+                f"scheduler {spec!r} does not implement the backend contract (missing {missing})"
+            )
+        return spec
+    try:
+        return BACKENDS[spec]()
+    except KeyError:
+        raise SimulationError(
+            f"unknown scheduler backend {spec!r} (available: {sorted(BACKENDS)})"
+        ) from None

@@ -87,6 +87,13 @@ class PacedRunner:
         self.stepping_wall = 0.0
         #: events stepped under this runner
         self.events = 0
+        #: sim seconds advanced inside those ``step()`` calls — together
+        #: with ``stepping_wall`` this measures how fast the kernel
+        #: *actually* converts wall time into sim time, which is the
+        #: only sim->wall mapping turbo mode has (see
+        #: :attr:`sim_rate`; the live 429 path derives its turbo
+        #: Retry-After from it)
+        self.sim_stepped = 0.0
 
     # -- control (callable from handlers on the same loop) -------------
 
@@ -113,6 +120,19 @@ class PacedRunner:
         self._anchor_sim = self.env.now
 
     @property
+    def sim_rate(self) -> Optional[float]:
+        """Measured sim-seconds per wall-second of kernel stepping, or
+        ``None`` before any stepping time has accrued.  This is the
+        kernel's *drain throughput* (sim time advanced per second spent
+        inside ``step()``), i.e. the fastest sustainable pacing rate —
+        and in turbo mode the only sim->wall mapping there is, which
+        the live 429 path uses to turn a sim-time backlog bound into a
+        wall-clock Retry-After."""
+        if self.stepping_wall <= 0.0 or self.sim_stepped <= 0.0:
+            return None
+        return self.sim_stepped / self.stepping_wall
+
+    @property
     def behind(self) -> float:
         """Current lag behind the wall clock, in wall seconds (paced
         mode only; 0.0 when turbo, idle, or keeping up)."""
@@ -133,6 +153,8 @@ class PacedRunner:
             "max_behind": self.max_behind,
             "stepping_wall": self.stepping_wall,
             "events": self.events,
+            "sim_stepped": self.sim_stepped,
+            "sim_rate": self.sim_rate,
             "behind": self.behind,
             "sim_now": self.env.now,
         }
@@ -143,12 +165,18 @@ class PacedRunner:
         """Step up to one batch of events due at or before ``target``;
         returns how many were stepped."""
         env = self.env
+        peek = env.peek
         t0 = perf_counter()
+        sim0 = env.now
         n = 0
-        while n < self.batch and env._heap and env._heap[0][0] <= target:
+        while n < self.batch:
+            nxt = peek()
+            if nxt > target or nxt == math.inf:
+                break
             env.step()
             n += 1
         self.stepping_wall += perf_counter() - t0
+        self.sim_stepped += env.now - sim0
         self.events += n
         if n:
             self.ticks += 1
@@ -195,11 +223,12 @@ class PacedRunner:
                     if until is not None:
                         target = min(target, until)
                 stepped = self._step_due(target)
-                if env._heap and env._heap[0][0] <= target:
+                nxt = env.peek()
+                if nxt <= target and nxt < math.inf:
                     # A full batch and still behind: catch-up pressure.
                     self.catchups += 1
                     if self.rate is not None:
-                        lag = (target - env._heap[0][0]) / self.rate
+                        lag = (target - nxt) / self.rate
                         if lag > self.max_behind:
                             self.max_behind = lag
                     await asyncio.sleep(0)
@@ -223,8 +252,8 @@ class PacedRunner:
                         await asyncio.sleep(0)
                     else:
                         await self._sleep(None)  # idle: park until kicked
-                elif env._heap:
-                    ahead = (env._heap[0][0] - target) / self.rate
+                elif (nxt := env.peek()) < math.inf:
+                    ahead = (nxt - target) / self.rate
                     await self._sleep(ahead)
                 else:
                     await self._sleep(None)
@@ -247,7 +276,7 @@ class PacedRunner:
         env = self.env
         deadline = env.now + grace
         stepped = 0
-        while env._heap and env._heap[0][0] <= deadline:
+        while env.peek() <= deadline:
             stepped += self._step_due(deadline)
             await asyncio.sleep(0)
-        return {"events": stepped, "drained": not env._heap}
+        return {"events": stepped, "drained": not env.pending}

@@ -77,6 +77,11 @@ DEFAULT_CONFIG = {
     "quota": None,
 }
 
+#: hard ceiling on the advertised Retry-After, in wall seconds — deep
+#: backlogs and non-finite patience bounds saturate here instead of
+#: telling a client to go away for hours (or 500ing on ``ceil(inf)``)
+RETRY_AFTER_CAP = 60
+
 #: POST /sessions body keys, passed through to the ScenarioSpec
 _SESSION_FIELDS = (
     "sim",
@@ -403,11 +408,27 @@ class LiveServer:
         }
 
     def _retry_after_wall(self) -> int:
-        """The 429 Retry-After header, in whole wall seconds (>= 1)."""
+        """The 429 Retry-After header, in whole wall seconds (>= 1).
+
+        Paced mode converts the controller's sim-second bound at the
+        pacing rate.  Turbo mode (``rate is None``) has no fixed
+        sim->wall mapping, so the bound is converted at the kernel's
+        *measured* drain throughput (:attr:`PacedRunner.sim_rate`, the
+        catch-up-pressure signal); before any throughput has been
+        measured the backpressure scalar scales the ceiling instead —
+        a fuller queue backs clients off harder.  Either way the
+        result is clamped to :data:`RETRY_AFTER_CAP`, so a pathological
+        (infinite-patience) sim bound saturates the header instead of
+        overflowing ``math.ceil`` into a 500 on the 429 path.
+        """
         sim = self.controller.retry_after()
         rate = self.runner.rate
-        wall = 0.0 if rate is None else sim / rate
-        return max(1, math.ceil(wall))
+        if rate is None:
+            rate = self.runner.sim_rate
+        if rate is not None and math.isfinite(sim):
+            return max(1, min(RETRY_AFTER_CAP, math.ceil(sim / rate)))
+        pressure = self.backpressure_signal.pressure()
+        return max(1, math.ceil(pressure * RETRY_AFTER_CAP))
 
     def _post_session(self, request: Request) -> tuple[int, dict, list]:
         doc = request.json()

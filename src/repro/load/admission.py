@@ -23,6 +23,7 @@ to the steering latencies.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, Optional
 
 from repro.errors import LoadError, ReproError
@@ -260,16 +261,38 @@ class AdmissionController:
         completes).  With an empty queue the next :meth:`offer` is
         accepted immediately and the bound is zero.  This is the number
         a live front end converts to a ``Retry-After`` header.
+
+        Entries whose patience has *already elapsed* are skipped: their
+        abandonment sweep fires on the next kernel step, so their
+        remaining patience clamps to zero — and a full queue of them
+        used to advertise an immediate retry, inviting every rejected
+        caller back at once (a thundering herd against a still-full
+        queue).  The bound falls back to the next fresh entry's
+        remaining patience; when *every* queued entry is expired it
+        falls back to the shortest patience among them — the
+        next-abandonment horizon a replacement entry would face.
         """
         now = self.env.now
-        remaining = [
-            entry.offered_at + entry.cls.patience - now
-            for _, _, entry in self._heap
-            if entry.state == QUEUED
-        ]
-        if not remaining:
+        soonest = math.inf
+        expired_floor = math.inf
+        queued = False
+        for _, _, entry in self._heap:
+            if entry.state != QUEUED:
+                continue
+            queued = True
+            remaining = entry.offered_at + entry.cls.patience - now
+            if remaining > 0.0:
+                if remaining < soonest:
+                    soonest = remaining
+            elif entry.cls.patience < expired_floor:
+                expired_floor = entry.cls.patience
+        if not queued:
             return 0.0
-        return max(0.0, min(remaining))
+        if soonest < math.inf:
+            return soonest
+        if expired_floor < math.inf:
+            return expired_floor
+        return math.inf
 
     def backpressure(self) -> dict:
         """A JSON-able snapshot of the admission pressure right now."""

@@ -9,10 +9,19 @@ give the kernel speedup back.
 Correctness is gated too: the run must complete every session with the
 baseline's op count, so a "speedup" that drops work cannot pass.
 
+``--kernel`` switches to the kernel-scheduler gate: every pattern in
+``benchmarks/bench_kernel.py`` runs once per scheduler backend, and each
+``(backend, pattern)`` cell must clear its absolute events/sec floor and
+stay within ``threshold`` of the committed ``BENCH_kernel.json``
+baseline rate.  Event counts must match the baseline exactly and agree
+across backends — a backend cannot buy throughput by dropping work.
+
 Usage::
 
     python -m repro.perf.gate [--sessions 128] [--threshold 0.25]
         [--baseline benchmarks/BENCH_fleet_scaling.json]
+    python -m repro.perf.gate --kernel [--threshold 3.0]
+        [--baseline benchmarks/BENCH_kernel.json]
 """
 
 from __future__ import annotations
@@ -23,6 +32,8 @@ import sys
 import time
 
 from repro.perf.bench import load_bench
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 
 
 #: the canonical fleet-scaling scenario — the *single* definition used by
@@ -89,19 +100,95 @@ def check(
     return ok, "\n".join(lines)
 
 
+def _load_kernel_bench():
+    """Import ``benchmarks.bench_kernel`` — the single definition of the
+    kernel patterns and their per-backend floors — from a source or
+    installed checkout alike."""
+    if str(_REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(_REPO_ROOT))
+    from benchmarks import bench_kernel
+
+    return bench_kernel
+
+
+def check_kernel(
+    baseline_path: pathlib.Path | str,
+    threshold: float = 3.0,
+) -> tuple[bool, str]:
+    """Run the per-backend kernel gate; returns (ok, verdict).
+
+    ``threshold`` is deliberately generous (CI boxes are slow and
+    noisy); the absolute ``FLOORS`` in ``bench_kernel`` are the
+    backstop an O(n) regression cannot hide under.
+    """
+    from repro.des.sched import available_backends
+
+    bench = _load_kernel_bench()
+    doc = load_bench(baseline_path)
+    baseline = doc["results"]
+    lines = []
+    ok = True
+    counts: dict[str, dict[str, int]] = {}
+    for backend in available_backends():
+        base = baseline.get(backend)
+        if base is None:
+            return False, (
+                f"baseline {baseline_path} has no results for backend "
+                f"{backend!r} (has {sorted(baseline)}) — regenerate "
+                f"BENCH_kernel.json"
+            )
+        counts[backend] = {}
+        for name, fn in bench.SCENARIOS.items():
+            events, wall = fn(backend)
+            rate = events / wall
+            counts[backend][name] = events
+            base_rate = base[name]["events_per_sec"]
+            floor = bench.FLOORS[backend][name]
+            limit = max(floor, base_rate / (1 + threshold))
+            lines.append(
+                f"kernel {backend}/{name}: {rate:,.0f} events/s "
+                f"(baseline {base_rate:,.0f}, limit {limit:,.0f})"
+            )
+            if events != base[name]["events"]:
+                ok = False
+                lines.append(
+                    f"FAIL: {backend}/{name} workload drifted — "
+                    f"{events} events vs baseline {base[name]['events']}"
+                )
+            if rate < limit:
+                ok = False
+                lines.append(
+                    f"FAIL: {backend}/{name} below {limit:,.0f} events/s"
+                )
+    reference = counts["heap"]
+    for backend, per in counts.items():
+        if per != reference:
+            ok = False
+            lines.append(
+                f"FAIL: backend {backend} event counts diverge from heap: "
+                f"{per} vs {reference}"
+            )
+    lines.append("OK" if ok else "kernel gate FAILED")
+    return ok, "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sessions", type=int, default=128)
-    parser.add_argument("--threshold", type=float, default=0.25)
-    parser.add_argument(
-        "--baseline",
-        default=str(
-            pathlib.Path(__file__).resolve().parents[3]
-            / "benchmarks" / "BENCH_fleet_scaling.json"
-        ),
-    )
+    parser.add_argument("--threshold", type=float, default=None)
+    parser.add_argument("--kernel", action="store_true")
+    parser.add_argument("--baseline", default=None)
     args = parser.parse_args(argv)
-    ok, verdict = check(args.baseline, sessions=args.sessions, threshold=args.threshold)
+    if args.kernel:
+        baseline = args.baseline or str(_REPO_ROOT / "benchmarks" / "BENCH_kernel.json")
+        threshold = 3.0 if args.threshold is None else args.threshold
+        ok, verdict = check_kernel(baseline, threshold=threshold)
+    else:
+        baseline = args.baseline or str(
+            _REPO_ROOT / "benchmarks" / "BENCH_fleet_scaling.json"
+        )
+        threshold = 0.25 if args.threshold is None else args.threshold
+        ok, verdict = check(baseline, sessions=args.sessions, threshold=threshold)
     print(verdict)
     return 0 if ok else 1
 

@@ -30,7 +30,9 @@ def rle_encode(data: bytes | np.ndarray) -> bytes:
     Vectorized with NumPy run detection: positions where the value changes
     delimit runs; runs longer than 255 are split.
     """
-    arr = np.frombuffer(data.tobytes() if isinstance(data, np.ndarray) else bytes(data), dtype=np.uint8)
+    arr = np.frombuffer(
+        data.tobytes() if isinstance(data, np.ndarray) else bytes(data), dtype=np.uint8
+    )
     if arr.size == 0:
         return b""
     change = np.flatnonzero(arr[1:] != arr[:-1]) + 1

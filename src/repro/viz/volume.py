@@ -13,7 +13,9 @@ import numpy as np
 from repro.errors import ReproError
 
 
-def transfer_function(values: np.ndarray, vmin: float, vmax: float) -> tuple[np.ndarray, np.ndarray]:
+def transfer_function(
+    values: np.ndarray, vmin: float, vmax: float
+) -> tuple[np.ndarray, np.ndarray]:
     """Map scalar values to (rgb in [0,1], opacity in [0,1]) — blue->red ramp."""
     span = vmax - vmin
     if span <= 0:

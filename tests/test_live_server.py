@@ -7,7 +7,7 @@ import pytest
 from repro.errors import LiveError
 from repro.live.client import request
 from repro.live.replay import matrix_digest, replay_trace
-from repro.live.server import LiveServer
+from repro.live.server import RETRY_AFTER_CAP, LiveServer
 from repro.live.trace import load_trace
 
 #: small fabric, fast-forward pacing — wall time stays in milliseconds
@@ -249,3 +249,69 @@ def test_replay_store_round_trips(tmp_path):
     assert store.exists()
     again = replay_trace(trace_path, store_path=store, workers=1)  # resume: no rerun
     assert matrix_digest(kept) == matrix_digest(again)
+
+
+# -- 429 Retry-After derivation (PR 8 regression) ----------------------------
+#
+# The old turbo path answered a constant 1 second regardless of backlog
+# (runner.rate is None short-circuited the sim->wall conversion), and a
+# pathological infinite-patience bound overflowed math.ceil into a 500
+# on the 429 path.  These pin the fixed derivation.
+
+
+def test_turbo_429_over_socket_saturates_retry_after():
+    async def go():
+        server = LiveServer(
+            config={"n_sites": 1, "queue_slots": 1, "queue_limit": 1, "rate": None}
+        )
+        await server.start()
+        # Freeze the kernel: once the run loop is up, stop it and wait
+        # for it to park, so offers pile up at a frozen sim instant and
+        # the third POST bounces deterministically.
+        while not server.runner._running:
+            await asyncio.sleep(0.01)
+        server.runner.stop()
+        while server.runner._running:
+            await asyncio.sleep(0.01)
+        # Drop the startup drain measurement: this pins the cold-start
+        # path where turbo has no sim->wall mapping yet.
+        server.runner.sim_stepped = 0.0
+        server.runner.stepping_wall = 0.0
+        try:
+            args = (server.host, server.port)
+            assert (await request(*args, "POST", "/sessions", _session_body())).status == 202
+            assert (await request(*args, "POST", "/sessions", _session_body())).status == 202
+            third = await request(*args, "POST", "/sessions", _session_body())
+            assert third.status == 429
+            retry = int(third.headers["retry-after"])
+            # Turbo with no measured throughput falls back to the
+            # backpressure scalar: a saturated queue advertises the full
+            # cap, not the old constant 1.
+            assert retry == RETRY_AFTER_CAP
+            assert third.json()["retry_after"] == retry
+        finally:
+            await server.shutdown(grace=0.0)
+
+    asyncio.run(go())
+
+
+def test_retry_after_wall_converts_at_measured_turbo_throughput():
+    server = LiveServer(config={"rate": None})
+    server.controller.retry_after = lambda: 40.0
+    # 5 sim-seconds drained per wall second, measured.
+    server.runner.sim_stepped = 50.0
+    server.runner.stepping_wall = 10.0
+    assert server._retry_after_wall() == 8
+    # A huge bound saturates the cap instead of advertising minutes.
+    server.controller.retry_after = lambda: 1e6
+    assert server._retry_after_wall() == RETRY_AFTER_CAP
+
+
+def test_retry_after_wall_survives_infinite_patience_bound():
+    import math as _math
+
+    for rate in (2.0, None):
+        server = LiveServer(config={"rate": rate})
+        server.controller.retry_after = lambda: _math.inf
+        retry = server._retry_after_wall()  # must not OverflowError
+        assert 1 <= retry <= RETRY_AFTER_CAP

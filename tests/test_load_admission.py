@@ -214,3 +214,63 @@ def test_depth_integral_tracks_queueing():
     q.finalize(env.now)
     assert q.depth_max == 2
     assert q.depth_mean > 0.0
+
+
+# -- retry_after bound (PR 8 regression) -------------------------------------
+#
+# The old bound clamped each entry's remaining patience at zero, so a
+# queue full of entries whose patience had elapsed (but whose
+# abandonment sweep hadn't stepped yet) advertised Retry-After 0 — every
+# rejected caller invited straight back at a still-full queue.
+
+
+def test_retry_after_empty_queue_is_zero():
+    env, driver, ctl = _world(slots=(1,))
+    assert ctl.retry_after() == 0.0
+
+
+def test_retry_after_is_min_remaining_patience():
+    from repro.load.slo import BATCH, INTERACTIVE
+
+    env, driver, ctl = _world(
+        slots=(1,), service_time=100.0, queue_limit=4,
+        classifier=lambda spec: BATCH if spec.name.startswith("b") else INTERACTIVE,
+    )
+    ctl.offer(_spec("b-hold"))      # admitted to the only slot
+    ctl.offer(_spec("b-queued"))    # BATCH, patience 40
+    ctl.offer(_spec("i-queued"))    # INTERACTIVE, patience 8
+    assert ctl.retry_after() == 8.0
+    env.now = 5.0
+    assert ctl.retry_after() == 3.0
+
+
+def test_retry_after_skips_expired_entries():
+    from repro.load.slo import BATCH, INTERACTIVE
+
+    env, driver, ctl = _world(
+        slots=(1,), service_time=100.0, queue_limit=4,
+        classifier=lambda spec: BATCH if spec.name.startswith("b") else INTERACTIVE,
+    )
+    ctl.offer(_spec("b-hold"))
+    ctl.offer(_spec("i-queued"))    # patience 8
+    ctl.offer(_spec("b-queued"))    # patience 40
+    # Past the interactive entry's patience, before its sweep has run:
+    # the bound must fall through to the still-fresh batch entry.
+    env.now = 10.0
+    assert ctl.retry_after() == 30.0
+
+
+def test_retry_after_all_expired_falls_back_to_patience_floor():
+    from repro.load.slo import BATCH, INTERACTIVE
+
+    env, driver, ctl = _world(
+        slots=(1,), service_time=100.0, queue_limit=4,
+        classifier=lambda spec: BATCH if spec.name.startswith("b") else INTERACTIVE,
+    )
+    ctl.offer(_spec("b-hold"))
+    ctl.offer(_spec("i-queued"))    # patience 8
+    ctl.offer(_spec("b-queued"))    # patience 40
+    env.now = 50.0  # everyone's patience elapsed, no sweep has stepped
+    bound = ctl.retry_after()
+    assert bound == 8.0  # the shortest patience, never 0
+    assert bound > 0.0

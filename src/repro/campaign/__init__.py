@@ -13,10 +13,15 @@ this package explores their **cross product**:
 * :mod:`repro.campaign.axes` — builders turning axis points into live
   suites, arrival processes, fault schedules and policies;
 * :mod:`repro.campaign.runner` — :func:`run_cell` (one isolated world
-  per cell) and :class:`CampaignRunner` (a multiprocessing pool
-  streaming completions into the store);
-* :mod:`repro.campaign.store` — the resumable, atomically-written JSONL
-  :class:`ResultStore` (completed cells are skipped on restart);
+  per cell) and :class:`CampaignRunner` (inline reference execution, or
+  supervised workers streaming completions into the store);
+* :mod:`repro.campaign.supervise` — the :class:`Supervisor`: individually
+  supervised worker processes with crash detection, per-cell wall-clock
+  timeouts, seeded retry backoff, quarantine verdicts for poison cells,
+  and graceful SIGTERM/SIGINT drain;
+* :mod:`repro.campaign.store` — the resumable, atomically-written,
+  fsync-durable JSONL :class:`ResultStore` (completed and quarantined
+  cells are skipped on restart);
 * :mod:`repro.campaign.matrix` — :class:`MatrixReport`, merging
   per-cell fleet reports through the exact mergeable statistics into
   per-axis marginals and a goodput/latency pareto front;
@@ -44,6 +49,7 @@ from repro.campaign.spec import (
     derive_seed,
 )
 from repro.campaign.store import ResultStore
+from repro.campaign.supervise import Supervisor
 
 __all__ = [
     "AXES",
@@ -54,6 +60,7 @@ __all__ = [
     "MatrixReport",
     "PRESETS",
     "ResultStore",
+    "Supervisor",
     "derive_seed",
     "nightly",
     "preset",

@@ -3,9 +3,9 @@
 Subcommands::
 
     run     --preset smoke | --spec FILE [--store PATH] [--workers N]
-            [--seed S] [--per-cell] [--fail-on-violations]
-            [--bench-out PATH]
-    resume  --store PATH [--workers N] [--fail-on-violations]
+            [--seed S] [--max-cell-seconds T] [--max-cell-retries N]
+            [--per-cell] [--fail-on-violations] [--bench-out PATH]
+    resume  --store PATH [--workers N] [same supervision flags]
     report  --store PATH [--per-cell] [--json]
             [--html PATH [--baseline STORE] [--drift-threshold T]]
     diff    STORE_A STORE_B [--marginal-threshold T]
@@ -13,10 +13,26 @@ Subcommands::
 ``run`` against an existing store resumes it (the header must match the
 requested campaign — a different spec at the same path is refused).
 ``resume`` needs no spec at all: the store's header carries the full
-campaign, so a cron job can restart whatever was interrupted.  The
-``--fail-on-violations`` exit contract is what the nightly workflow
-gates on: exit 1 when any cell reported a chaos invariant violation or
-the grid is incomplete.
+campaign, so a cron job can restart whatever was interrupted.
+
+Supervision: ``--workers > 1``, ``--max-cell-seconds`` or
+``--max-cell-retries`` route execution through the crash-/hang-/poison-
+tolerant :class:`~repro.campaign.supervise.Supervisor`; a SIGTERM or
+Ctrl-C drains gracefully (in-flight completed records are flushed, the
+store stays consistent, exit :data:`EXIT_INTERRUPTED`).
+
+Exit codes — the contract the nightly workflow gates on::
+
+    0    grid complete, no violations, nothing quarantined
+    1    chaos invariant violation(s) somewhere in the grid
+    2    usage / campaign error (bad spec, mixed store ...)
+    3    quarantined cell(s): the retry budget died trying
+    4    incomplete grid (cells missing without a quarantine verdict)
+    130  interrupted (SIGTERM/SIGINT drain; resume to finish)
+
+Violations outrank quarantines (a violation is a *wrong answer*, a
+quarantine is a missing one), quarantines outrank bare incompleteness;
+1/3/4 all require ``--fail-on-violations``.
 """
 
 from __future__ import annotations
@@ -34,7 +50,15 @@ from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
+from repro.obs import MetricsRegistry
 from repro.perf.bench import write_bench
+
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+EXIT_QUARANTINED = 3
+EXIT_INCOMPLETE = 4
+EXIT_INTERRUPTED = 130
 
 
 def _load_spec(args: argparse.Namespace) -> CampaignSpec:
@@ -52,6 +76,13 @@ def _default_store(spec: CampaignSpec) -> pathlib.Path:
 
 
 def _progress(record: dict) -> None:
+    if record["kind"] == "quarantine":
+        print(
+            f"  cell {record['cell_id']}: QUARANTINED "
+            f"({record['reason']} after {record['attempts']} attempt(s))",
+            flush=True,
+        )
+        return
     report = record["report"]
     verdict = record["verdict"]
     wall = record["perf"].get("wall_seconds", 0.0)
@@ -76,10 +107,17 @@ def _finish(
     print(matrix.render(per_cell=args.per_cell))
     print(
         f"ran {len(runner.executed)} cells "
-        f"({matrix.totals.cells - len(runner.executed)} resumed from "
+        f"({matrix.totals.cells - runner.stats['completed']} resumed from "
         f"{runner.store.path}), wall {wall:.1f}s, "
         f"{runner.workers} worker(s)"
     )
+    if runner.supervise:
+        s = runner.stats
+        print(
+            f"supervisor: {s['worker_restarts']} worker restart(s), "
+            f"{s['cell_retries']} cell retrie(s), "
+            f"{s['quarantined']} quarantined"
+        )
     if args.bench_out:
         events = sum(
             rec["perf"].get("events", 0)
@@ -100,26 +138,54 @@ def _finish(
                 "across the grid",
                 file=sys.stderr,
             )
-            return 1
+            return EXIT_VIOLATIONS
+        if matrix.quarantined:
+            print(
+                f"FAIL: {len(matrix.quarantined)} quarantined cell(s) — "
+                "the grid has known-poison holes",
+                file=sys.stderr,
+            )
+            return EXIT_QUARANTINED
         if not matrix.complete:
             print(
                 f"FAIL: grid incomplete "
                 f"({matrix.totals.cells}/{matrix.expected_cells} cells)",
                 file=sys.stderr,
             )
-            return 1
-    return 0
+            return EXIT_INCOMPLETE
+    return EXIT_OK
+
+
+def _build_runner(
+    spec: CampaignSpec, store: ResultStore, args: argparse.Namespace
+) -> CampaignRunner:
+    kwargs = {}
+    supervise = None
+    if args.max_cell_seconds is not None:
+        kwargs["max_cell_seconds"] = args.max_cell_seconds
+        supervise = True
+    if args.max_cell_retries is not None:
+        kwargs["max_cell_retries"] = args.max_cell_retries
+        supervise = True
+    return CampaignRunner(
+        spec, store,
+        workers=args.workers,
+        supervise=supervise,
+        metrics=MetricsRegistry(),
+        **kwargs,
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     store_path = args.store or _default_store(spec)
     store = ResultStore(store_path)
-    runner = CampaignRunner(spec, store, workers=args.workers)
+    runner = _build_runner(spec, store, args)
     pending = len(runner.pending()) if store.header else spec.n_cells
     print(
         f"campaign {spec.name!r} seed {spec.seed}: {spec.n_cells} cells "
-        f"({pending} to run), {args.workers} worker(s), store {store_path}",
+        f"({pending} to run), {args.workers} worker(s)"
+        f"{' [supervised]' if runner.supervise else ''}, store {store_path}",
         flush=True,
     )
     t0 = time.perf_counter()
@@ -130,11 +196,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_resume(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     spec = store.spec()
-    runner = CampaignRunner(spec, store, workers=args.workers)
+    runner = _build_runner(spec, store, args)
+    quarantined = len(store.quarantined_ids())
     print(
         f"resuming campaign {spec.name!r} seed {spec.seed} from "
-        f"{args.store}: {len(store)} cells done, "
-        f"{len(runner.pending())} to run",
+        f"{args.store}: {len(store)} cells done"
+        + (f", {quarantined} quarantined (skipped)" if quarantined else "")
+        + f", {len(runner.pending())} to run",
         flush=True,
     )
     t0 = time.perf_counter()
@@ -142,11 +210,16 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return _finish(matrix, runner, time.perf_counter() - t0, args)
 
 
+def _matrix_of(store: ResultStore) -> MatrixReport:
+    return MatrixReport.from_records(
+        store.cell_records(), spec=store.spec(),
+        quarantined=store.quarantine_records(),
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
-    matrix = MatrixReport.from_records(
-        store.cell_records(), spec=store.spec()
-    )
+    matrix = _matrix_of(store)
     if args.baseline is not None and args.html is None:
         raise CampaignError("--baseline requires --html")
     if args.html is not None:
@@ -154,10 +227,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
         baseline = None
         if args.baseline is not None:
-            base_store = ResultStore(args.baseline)
-            baseline = MatrixReport.from_records(
-                base_store.cell_records(), spec=base_store.spec()
-            )
+            baseline = _matrix_of(ResultStore(args.baseline))
         path = write_html(
             args.html, matrix, baseline=baseline,
             drift_threshold=args.drift_threshold,
@@ -171,13 +241,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    matrices = []
-    for path in (args.store_a, args.store_b):
-        store = ResultStore(path)
-        matrices.append(
-            MatrixReport.from_records(store.cell_records(),
-                                      spec=store.spec())
-        )
+    matrices = [
+        _matrix_of(ResultStore(path))
+        for path in (args.store_a, args.store_b)
+    ]
     diff = matrices[0].diff(matrices[1])
     print(MatrixReport.render_diff(diff))
     failed = bool(diff["changed"] or diff["only_self"]
@@ -218,12 +285,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     for cmd in (run, resume):
         cmd.add_argument("--workers", type=int, default=1,
-                         help="worker processes (1 = inline)")
+                         help="worker processes (1 = inline unless a "
+                              "supervision flag is given)")
+        cmd.add_argument("--max-cell-seconds", type=float, default=None,
+                         help="per-cell wall-clock budget; a cell still "
+                              "running past it is killed and retried "
+                              "(implies supervised execution)")
+        cmd.add_argument("--max-cell-retries", type=int, default=None,
+                         help="retries before a failing cell is "
+                              "quarantined (default 2; implies "
+                              "supervised execution)")
         cmd.add_argument("--per-cell", action="store_true",
                          help="print the per-cell table")
         cmd.add_argument("--fail-on-violations", action="store_true",
-                         help="exit 1 on any chaos invariant violation "
-                              "or an incomplete grid")
+                         help="gate the exit code: 1 violations, "
+                              "3 quarantined cells, 4 incomplete grid")
         cmd.add_argument("--bench-out", default=None,
                          help="also write a BENCH_*.json envelope here")
 
@@ -262,9 +338,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except CampaignError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    except KeyboardInterrupt:
+        # A signal-initiated drain: the supervisor already flushed every
+        # in-flight completed record and shut its workers down.
+        store = getattr(args, "store", None)
+        hint = (
+            f"; resume with: python -m repro.campaign resume "
+            f"--store {store}" if store else ""
+        )
+        print(f"interrupted — store is consistent{hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except BrokenPipeError:
         # The downstream consumer (head, less ...) closed the pipe; the
         # store is already consistent — every append was atomic.
         sys.stderr.close()
-        return 0
+        return EXIT_OK

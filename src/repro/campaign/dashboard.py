@@ -5,7 +5,10 @@ one self-contained page — inline CSS, inline SVG, zero scripts, zero
 external fetches — so the nightly workflow can publish it as an artifact
 and anyone can open the file from disk:
 
-* headline totals (cells, goodput, ops, faults, violations);
+* headline totals (cells, goodput, ops, faults, violations — plus a
+  quarantine count whenever the supervisor gave up on any cell);
+* a quarantine panel naming every grid hole (quarantined cells with
+  their failure reason and attempt count, plus cells that never ran);
 * a goodput vs. steer-p90 scatter of every cell with the pareto front
   drawn through the non-dominated ones;
 * per-axis marginal tables (the same numbers ``render`` prints);
@@ -35,6 +38,7 @@ th, td { border: 1px solid #ccd; padding: 0.25em 0.7em; text-align: right; }
 th { background: #eef; } td.name { text-align: left; }
 tr.pareto td { background: #e8f6e8; }
 tr.drift td { background: #fde8e8; }
+tr.quarantine td { background: #fdf3e0; }
 .totals span { display: inline-block; margin-right: 1.6em; }
 .totals b { font-size: 1.3em; }
 .bad b { color: #b00020; }
@@ -134,6 +138,10 @@ def _totals_block(matrix: MatrixReport) -> str:
     t = matrix.totals
     d = t.to_dict()
     bad = ' bad' if t.violations else ""
+    quarantined = (
+        f'<span class="bad"><b>{len(matrix.quarantined)}</b> '
+        "quarantined</span>" if matrix.quarantined else ""
+    )
     return (
         f'<p class="totals"><span><b>{t.cells}/{matrix.expected_cells}</b> '
         "cells</span>"
@@ -142,8 +150,38 @@ def _totals_block(matrix: MatrixReport) -> str:
         f"<span><b>{t.ops}</b> steering ops</span>"
         f"<span><b>{t.faults_applied}</b> faults</span>"
         f'<span class="{bad.strip()}"><b>{t.violations}</b> violations</span>'
+        f"{quarantined}"
         f"<span><b>{_fmt(d['steer_p90_ms'])}</b> ms steer p90</span>"
         f"<span><b>{_fmt(d['wait_p90_s'])}</b> s wait p90</span></p>"
+    )
+
+
+def _quarantine_panel(matrix: MatrixReport) -> str:
+    """Grid holes, named: quarantined cells and never-run cells."""
+    if not matrix.quarantined and not matrix.missing:
+        return ""
+    rows = []
+    for q in matrix.quarantined:
+        rows.append(
+            f'<tr class="quarantine">'
+            f'<td class="name">{html.escape(q["cell_id"])}</td>'
+            f"<td>quarantined</td>"
+            f'<td class="name">{html.escape(q["reason"])}</td>'
+            f"<td>{q['attempts']}</td></tr>"
+        )
+    for cell_id in matrix.missing:
+        rows.append(
+            f'<tr class="quarantine">'
+            f'<td class="name">{html.escape(cell_id)}</td>'
+            f'<td>never ran</td><td class="name">-</td><td>-</td></tr>'
+        )
+    return (
+        f"<h2>grid holes ({matrix.holes})</h2>"
+        '<p class="note">quarantined cells exhausted the supervisor\'s '
+        "retry budget and are skipped on resume; every aggregate above "
+        "excludes them.</p>"
+        "<table><tr><th>cell</th><th>state</th><th>reason</th>"
+        f'<th>attempts</th></tr>{"".join(rows)}</table>'
     )
 
 
@@ -240,6 +278,7 @@ def render_html(
     sections = [
         f"<h1>{html.escape(title)}</h1>",
         _totals_block(matrix),
+        _quarantine_panel(matrix),
         "<h2>goodput vs. steer p90</h2>",
         _scatter(matrix.cells, front_ids),
         _marginal_tables(matrix),
@@ -251,7 +290,7 @@ def render_html(
         "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
         f"<title>{html.escape(title)}</title>"
         f"<style>{_CSS}</style></head>\n<body>\n"
-        + "\n".join(sections)
+        + "\n".join(s for s in sections if s)
         + "\n</body></html>\n"
     )
 

@@ -148,6 +148,8 @@ class MatrixReport:
         cells: list[dict],
         totals: _Agg,
         marginals: dict,
+        quarantined: list[dict] | None = None,
+        missing: list[str] | None = None,
     ) -> None:
         self.campaign = campaign
         self.seed = seed
@@ -157,15 +159,36 @@ class MatrixReport:
         self.totals = totals
         #: axis -> point name -> _Agg
         self.marginals = marginals
+        #: quarantine summaries (cell_id/coords/reason/attempts), sorted
+        self.quarantined = quarantined or []
+        #: cell ids of the spec that are neither run nor quarantined
+        self.missing = missing or []
 
     @classmethod
     def from_records(
-        cls, records: list[dict], spec: CampaignSpec | None = None
+        cls,
+        records: list[dict],
+        spec: CampaignSpec | None = None,
+        quarantined: list[dict] | None = None,
     ) -> "MatrixReport":
         if not records and spec is None:
             raise CampaignError("cannot aggregate an empty campaign")
         records = sorted(records, key=lambda rec: rec["cell_id"])
-        seen = [rec["cell_id"] for rec in records]
+        quarantine_rows = sorted(
+            (
+                {
+                    "cell_id": rec["cell_id"],
+                    "coords": dict(rec["coords"]),
+                    "reason": rec["reason"],
+                    "attempts": rec["attempts"],
+                }
+                for rec in (quarantined or [])
+            ),
+            key=lambda row: row["cell_id"],
+        )
+        seen = [rec["cell_id"] for rec in records] + [
+            row["cell_id"] for row in quarantine_rows
+        ]
         if len(set(seen)) != len(seen):
             raise CampaignError("duplicate cell ids in campaign records")
         totals = _Agg()
@@ -208,20 +231,37 @@ class MatrixReport:
                     "wait_p90_s", math.nan
                 ),
             })
+        missing: list[str] = []
+        if spec is not None:
+            settled = set(seen)
+            missing = [
+                cell.cell_id for cell in spec.iter_cells()
+                if cell.cell_id not in settled
+            ]
         return cls(
             campaign=spec.name if spec is not None else "",
             seed=spec.seed if spec is not None else 0,
-            expected_cells=spec.n_cells if spec is not None else len(records),
+            expected_cells=spec.n_cells if spec is not None else len(seen),
             cells=cells,
             totals=totals,
             marginals=marginals,
+            quarantined=quarantine_rows,
+            missing=missing,
         )
 
     # -- verdicts ------------------------------------------------------------
 
     @property
     def complete(self) -> bool:
+        """Every expected cell produced a result record — quarantined
+        cells are settled, but they are still holes in the grid."""
         return self.totals.cells == self.expected_cells
+
+    @property
+    def holes(self) -> int:
+        """Expected cells with no result record (quarantined or never
+        run) — the grid's explicit, never-silent incompleteness."""
+        return self.expected_cells - self.totals.cells
 
     @property
     def violations(self) -> int:
@@ -271,6 +311,9 @@ class MatrixReport:
                 for axis in AXES
             },
             "pareto": [row["cell_id"] for row in self.pareto()],
+            "holes": self.holes,
+            "quarantined": self.quarantined,
+            "missing": list(self.missing),
             "cells": self.cells,
         }
 
@@ -318,6 +361,21 @@ class MatrixReport:
             "pareto (max goodput, min steer p90): "
             + (", ".join(row["cell_id"] for row in front) if front else "-")
         )
+        if self.quarantined:
+            lines.append(
+                f"!! {len(self.quarantined)} quarantined cell(s) — "
+                "holes in the grid, excluded from every aggregate above:"
+            )
+            for row in self.quarantined:
+                lines.append(
+                    f"  {row['cell_id']}: {row['reason']} after "
+                    f"{row['attempts']} attempt(s)"
+                )
+        if self.missing:
+            lines.append(
+                f"!! {len(self.missing)} cell(s) never ran: "
+                + ", ".join(self.missing)
+            )
         if per_cell:
             lines.append(
                 f"{'cell':<52} {'sess':>5} {'good':>5} {'viol':>4} "

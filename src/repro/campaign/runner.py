@@ -10,17 +10,32 @@ process, in different worker processes, on different days — produce the
 same record byte for byte (wall-clock vitals live under ``perf`` and are
 the one deliberate exception).
 
-:class:`CampaignRunner` fans cells out over a ``multiprocessing`` pool
-and streams each completed record into the
+:class:`CampaignRunner` drives the incomplete cells either inline
+(``workers=1``, the byte-identical reference execution) or through the
+:class:`~repro.campaign.supervise.Supervisor` — individually supervised
+worker processes that survive worker crashes, kill hung cells at a
+wall-clock deadline, retry transient failures with seeded backoff, and
+quarantine poison cells so resume never loops on them.  Either way every
+completed record streams into the
 :class:`~repro.campaign.store.ResultStore` the moment it lands, so an
 interrupted campaign loses at most the cells in flight.  On restart the
-completed cells are skipped; per-cell seeding makes the union identical
-to an uninterrupted run.
+settled (completed or quarantined) cells are skipped; per-cell seeding
+makes the union identical to an uninterrupted run.
+
+The module also hosts the **fault point** the supervisor's self-chaos
+tests use (:data:`FAULT_ENV`): a JSON file naming cells to kill, hang or
+fail mid-cell, with an attempt budget tracked through marker files so a
+fault can be transient (fires on the first N attempts, then the retry
+succeeds) or poison (fires forever).  Unset, the hook is a single
+``os.environ.get`` per cell.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import json
+import os
+import pathlib
+import signal as _signal
 import time
 from typing import Callable, Optional
 
@@ -33,6 +48,7 @@ from repro.campaign.axes import (
 from repro.campaign.matrix import MatrixReport
 from repro.campaign.spec import CampaignSpec, CellSpec
 from repro.campaign.store import ResultStore
+from repro.campaign.supervise import Supervisor
 from repro.chaos import ChaosHarness
 from repro.errors import CampaignError
 from repro.fleet import BrokerPool, FleetDriver
@@ -54,6 +70,59 @@ DEFAULT_BASE = {
     "until": None,
     "monitor_interval": 1.0,
 }
+
+#: environment variable naming the fault-injection spec (tests only):
+#: ``{"cells": {cell_id: {"action": "kill"|"hang"|"raise",
+#: "times": N, "seconds": S}}, "state_dir": dir}`` — ``times`` is how
+#: many attempts the fault fires on (-1 = every attempt, i.e. poison);
+#: fired attempts are claimed via O_EXCL marker files in ``state_dir``
+#: so the count survives the SIGKILL it causes.
+FAULT_ENV = "REPRO_CAMPAIGN_FAULTS"
+
+
+def _maybe_inject_fault(cell: CellSpec) -> None:
+    """Self-chaos fault point: crash/hang/fail this cell on purpose.
+
+    Called mid-cell (world built, arrivals installed, run imminent) so
+    an injected SIGKILL genuinely interrupts work in flight.  The
+    marker file is claimed *before* the fault fires — a kill must still
+    consume one of its ``times`` budget, or the retry would loop.
+    """
+    path = os.environ.get(FAULT_ENV)
+    if not path:
+        return
+    doc = json.loads(pathlib.Path(path).read_text())
+    entry = (doc.get("cells") or {}).get(cell.cell_id)
+    if not entry:
+        return
+    times = int(entry.get("times", -1))
+    if times == 0:
+        return
+    if times > 0:
+        state_dir = pathlib.Path(
+            doc.get("state_dir") or pathlib.Path(path).parent
+        )
+        fired = 0
+        while True:
+            marker = state_dir / f"fault-{cell.index}-{fired}"
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                fired += 1
+                if fired >= times:
+                    return  # budget spent: this attempt runs clean
+                continue
+            os.close(fd)
+            break
+    action = entry["action"]
+    if action == "raise":
+        raise RuntimeError(f"injected fault in cell {cell.cell_id!r}")
+    if action == "hang":
+        time.sleep(float(entry.get("seconds", 3600.0)))
+        return
+    if action == "kill":
+        os.kill(os.getpid(), _signal.SIGKILL)
+    raise CampaignError(f"unknown fault action {action!r}")
 
 
 def cell_config(cell: CellSpec) -> dict:
@@ -107,6 +176,8 @@ def run_cell(cell: CellSpec) -> dict:
     if autoscale_kwargs is not None:
         ReactiveAutoscaler(controller, **autoscale_kwargs)
 
+    _maybe_inject_fault(cell)
+
     until = config["until"]
     report = controller.run(
         arrivals,
@@ -137,13 +208,16 @@ def run_cell(cell: CellSpec) -> dict:
 
 
 class CampaignRunner:
-    """Drive a campaign's incomplete cells through a worker pool.
+    """Drive a campaign's unsettled cells to completion.
 
-    ``workers=1`` runs cells inline (no pool, no pickling) — the
-    reference execution the multi-process run must match byte for byte.
-    ``mp_context`` defaults to ``"spawn"`` so worker state is a function
-    of the CellSpec alone, never of what the parent happened to import
-    or mutate first.
+    ``workers=1`` (unsupervised) runs cells inline — no processes, no
+    pickling — the reference execution every other mode must match byte
+    for byte.  ``workers>1``, a ``max_cell_seconds`` deadline, or
+    ``supervise=True`` routes execution through the
+    :class:`~repro.campaign.supervise.Supervisor`.  ``mp_context``
+    defaults to ``"spawn"`` so worker state is a function of the
+    CellSpec alone, never of what the parent happened to import or
+    mutate first.
     """
 
     def __init__(
@@ -152,6 +226,11 @@ class CampaignRunner:
         store: ResultStore,
         workers: int = 1,
         mp_context: str = "spawn",
+        max_cell_seconds: Optional[float] = None,
+        max_cell_retries: int = 2,
+        retry_backoff: float = 0.05,
+        supervise: Optional[bool] = None,
+        metrics=None,
     ) -> None:
         if workers < 1:
             raise CampaignError("campaign needs >= 1 worker")
@@ -159,37 +238,70 @@ class CampaignRunner:
         self.store = store
         self.workers = workers
         self.mp_context = mp_context
-        #: cell ids executed (not resumed-over) by the last run() call
+        self.max_cell_seconds = max_cell_seconds
+        self.max_cell_retries = max_cell_retries
+        self.retry_backoff = retry_backoff
+        if supervise is None:
+            supervise = workers > 1 or max_cell_seconds is not None
+        self.supervise = supervise
+        self.metrics = metrics
+        #: the Supervisor of the last run() call (None when inline)
+        self.supervisor: Optional[Supervisor] = None
+        #: supervision outcome counters of the last run() call
+        self.stats = {
+            "completed": 0, "worker_restarts": 0,
+            "cell_retries": 0, "quarantined": 0,
+        }
+        #: cell ids attempted (not resumed-over) by the last run() call
         self.executed: list[str] = []
 
     def pending(self) -> list[CellSpec]:
-        done = self.store.completed_ids()
-        return [c for c in self.spec.iter_cells() if c.cell_id not in done]
+        """Cells neither completed nor quarantined yet."""
+        settled = self.store.settled_ids()
+        return [
+            c for c in self.spec.iter_cells() if c.cell_id not in settled
+        ]
 
     def run(
         self, progress: Optional[Callable[[dict], None]] = None
     ) -> MatrixReport:
-        """Execute every incomplete cell, then aggregate the full grid."""
+        """Settle every incomplete cell, then aggregate the full grid.
+
+        Raises :class:`KeyboardInterrupt` after a signal-initiated
+        drain — by then every record that finished in time is flushed
+        and the store is consistent, so the caller can simply resume.
+        """
         self.store.ensure_header(self.spec)
         todo = self.pending()
         self.executed = [c.cell_id for c in todo]
+        self.stats = {
+            "completed": 0, "worker_restarts": 0,
+            "cell_retries": 0, "quarantined": 0,
+        }
         if todo:
-            if self.workers == 1:
+            if self.supervise:
+                supervisor = Supervisor(
+                    self.store,
+                    workers=self.workers,
+                    mp_context=self.mp_context,
+                    max_cell_seconds=self.max_cell_seconds,
+                    max_cell_retries=self.max_cell_retries,
+                    retry_backoff=self.retry_backoff,
+                    metrics=self.metrics,
+                )
+                self.supervisor = supervisor
+                self.stats = supervisor.run(todo, progress=progress)
+                if supervisor.interrupted is not None:
+                    raise KeyboardInterrupt(supervisor.interrupted)
+            else:
                 for cell in todo:
                     record = run_cell(cell)
                     self.store.append(record)
+                    self.stats["completed"] += 1
                     if progress is not None:
                         progress(record)
-            else:
-                ctx = multiprocessing.get_context(self.mp_context)
-                with ctx.Pool(processes=self.workers) as pool:
-                    # Stream: every completion is persisted immediately,
-                    # in completion order — the store is the checkpoint,
-                    # MatrixReport re-sorts by cell id.
-                    for record in pool.imap_unordered(run_cell, todo):
-                        self.store.append(record)
-                        if progress is not None:
-                            progress(record)
         return MatrixReport.from_records(
-            self.store.cell_records(), spec=self.spec
+            self.store.cell_records(),
+            spec=self.spec,
+            quarantined=self.store.quarantine_records(),
         )

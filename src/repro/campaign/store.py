@@ -1,16 +1,24 @@
 """The resumable campaign results store: one JSONL file per campaign.
 
 Line 1 is a header record carrying the full :class:`CampaignSpec` (and
-the store schema), every following line is one completed cell.  The
+the store schema), every following line is one settled cell — either a
+``"kind": "cell"`` success record or a ``"kind": "quarantine"`` record
+written by the supervisor after a cell exhausted its retry budget.  The
 invariants a long-running campaign leans on:
 
 * **atomic** — every append rewrites the file to a sibling ``.tmp`` and
   ``os.replace``-s it over the original, so a killed run can never leave
   a half-written record *behind* a committed one;
-* **resumable** — on restart the runner asks :meth:`completed_ids` and
+* **durable** — the tmp file is fsynced before the replace and the
+  directory is fsynced after it, so a *host* crash (power loss, kernel
+  panic) cannot lose a record the runner already acknowledged.  Tests
+  and benches that churn thousands of throwaway stores can opt out with
+  ``fsync=False``;
+* **resumable** — on restart the runner asks :meth:`settled_ids` and
   re-executes only the cells that are missing (per-cell seeds make the
   reruns byte-identical, so a resumed campaign equals an uninterrupted
-  one);
+  one).  Quarantined cells count as settled: a cell that deterministic-
+  ally crashes the worker must not be re-attempted on every resume;
 * **tolerant of its own death** — a truncated *trailing* line (the
   window between ``write`` and ``replace`` is empty, but an older
   non-atomic writer, a full disk, or a torn copy can still produce one)
@@ -31,14 +39,21 @@ from repro.errors import CampaignError
 
 STORE_SCHEMA = "repro.campaign/store-v1"
 
+#: record kinds accepted after the header line
+RECORD_KINDS = ("cell", "quarantine")
+
 
 class ResultStore:
     """Append-only JSONL store for one campaign's cell records."""
 
-    def __init__(self, path: pathlib.Path | str) -> None:
+    def __init__(self, path: pathlib.Path | str, fsync: bool = True) -> None:
         self.path = pathlib.Path(path)
+        #: durability switch — leave on everywhere except throwaway
+        #: test/bench stores (fsync per append costs ~a few ms on disk)
+        self.fsync = bool(fsync)
         self._header: Optional[dict] = None
-        self._cells: list[dict] = []
+        #: settled records in append order (cells and quarantines mixed)
+        self._records: list[dict] = []
         #: unparsable trailing lines discarded on load (0 or 1 normally)
         self.dropped_lines = 0
         if self.path.exists():
@@ -77,12 +92,13 @@ class ResultStore:
                 f"{STORE_SCHEMA} header"
             )
         for rec in cells:
-            if rec.get("kind") != "cell" or "cell_id" not in rec:
+            if rec.get("kind") not in RECORD_KINDS or "cell_id" not in rec:
                 raise CampaignError(
-                    f"{self.path}: non-cell record after the header"
+                    f"{self.path}: record after the header is neither a "
+                    "cell nor a quarantine"
                 )
         self._header = head
-        self._cells = cells
+        self._records = cells
 
     # -- writing -------------------------------------------------------------
 
@@ -91,15 +107,34 @@ class ResultStore:
         return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
     def _rewrite(self) -> None:
-        """Serialise everything we hold and atomically replace the file."""
+        """Serialise everything we hold and atomically replace the file.
+
+        With :attr:`fsync` on (the default) the tmp file is flushed to
+        stable storage before the replace and the directory entry after
+        it — the two halves of crash consistency: the bytes survive a
+        host crash, and so does the rename that points at them.
+        """
         lines = []
         if self._header is not None:
             lines.append(self._dumps(self._header))
-        lines.extend(self._dumps(rec) for rec in self._cells)
+        lines.extend(self._dumps(rec) for rec in self._records)
         tmp = self.path.parent / (self.path.name + ".tmp")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text("\n".join(lines) + "\n")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        if self.fsync:
+            try:
+                dfd = os.open(self.path.parent, os.O_RDONLY)
+            except OSError:
+                return  # platform cannot open directories (e.g. Windows)
+            try:
+                os.fsync(dfd)
+            finally:
+                os.close(dfd)
 
     def ensure_header(self, spec: CampaignSpec) -> None:
         """Write the header on first use; on resume, verify the stored
@@ -124,21 +159,32 @@ class ResultStore:
                 "store path or matching spec"
             )
 
-    def append(self, record: dict) -> None:
-        """Persist one completed cell (atomically, immediately)."""
+    def _append(self, record: dict, kind: str) -> None:
         if self._header is None:
             raise CampaignError(
                 f"{self.path}: store has no header; call ensure_header "
                 "before appending cells"
             )
-        if record.get("kind") != "cell" or "cell_id" not in record:
-            raise CampaignError("cell records need kind='cell' and cell_id")
-        if record["cell_id"] in self.completed_ids():
+        if record.get("kind") != kind or "cell_id" not in record:
             raise CampaignError(
-                f"{self.path}: duplicate cell record {record['cell_id']!r}"
+                f"{kind} records need kind={kind!r} and cell_id"
             )
-        self._cells.append(record)
+        if record["cell_id"] in self.settled_ids():
+            raise CampaignError(
+                f"{self.path}: duplicate record for cell "
+                f"{record['cell_id']!r}"
+            )
+        self._records.append(record)
         self._rewrite()
+
+    def append(self, record: dict) -> None:
+        """Persist one completed cell (atomically, immediately)."""
+        self._append(record, "cell")
+
+    def append_quarantine(self, record: dict) -> None:
+        """Persist a quarantine verdict: this cell exhausted its retry
+        budget and must not be re-attempted on resume."""
+        self._append(record, "quarantine")
 
     # -- reading -------------------------------------------------------------
 
@@ -153,10 +199,24 @@ class ResultStore:
         return CampaignSpec.from_dict(self._header["spec"])
 
     def cell_records(self) -> list[dict]:
-        return list(self._cells)
+        return [rec for rec in self._records if rec["kind"] == "cell"]
+
+    def quarantine_records(self) -> list[dict]:
+        return [rec for rec in self._records if rec["kind"] == "quarantine"]
 
     def completed_ids(self) -> set:
-        return {rec["cell_id"] for rec in self._cells}
+        """Ids of cells that finished and produced a result record."""
+        return {rec["cell_id"] for rec in self._records
+                if rec["kind"] == "cell"}
+
+    def quarantined_ids(self) -> set:
+        """Ids of cells the supervisor gave up on (known poison)."""
+        return {rec["cell_id"] for rec in self._records
+                if rec["kind"] == "quarantine"}
+
+    def settled_ids(self) -> set:
+        """Everything resume must skip: completed ∪ quarantined."""
+        return {rec["cell_id"] for rec in self._records}
 
     def __len__(self) -> int:
-        return len(self._cells)
+        return sum(1 for rec in self._records if rec["kind"] == "cell")

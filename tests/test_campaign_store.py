@@ -108,3 +108,67 @@ def test_headerless_file_is_refused(tmp_path):
     path.write_text(json.dumps(cell_record("x")) + "\n")
     with pytest.raises(CampaignError, match="header"):
         ResultStore(path)
+
+
+def quarantine_record(cell_id):
+    return {
+        "kind": "quarantine", "cell_id": cell_id, "index": 0, "seed": 1,
+        "coords": {"scenario": "s", "arrival": "a", "faults": "f",
+                   "policy": "p"},
+        "reason": "timeout", "attempts": 3,
+        "failures": [{"attempt": i, "reason": "timeout",
+                      "detail": {"max_cell_seconds": 1.0}}
+                     for i in (1, 2, 3)],
+    }
+
+
+def test_quarantine_records_round_trip_and_settle(tmp_path):
+    path = tmp_path / "c.jsonl"
+    store = ResultStore(path)
+    store.ensure_header(tiny_spec())
+    store.append(cell_record("good"))
+    store.append_quarantine(quarantine_record("poison"))
+    assert store.completed_ids() == {"good"}
+    assert store.quarantined_ids() == {"poison"}
+    assert store.settled_ids() == {"good", "poison"}
+    assert len(store) == 1  # quarantines are not results
+    # Round trip through disk.
+    again = ResultStore(path)
+    assert again.settled_ids() == {"good", "poison"}
+    [q] = again.quarantine_records()
+    assert q["reason"] == "timeout" and len(q["failures"]) == 3
+    # A quarantined cell can never be double-settled, in either kind.
+    with pytest.raises(CampaignError, match="duplicate"):
+        again.append(cell_record("poison"))
+    with pytest.raises(CampaignError, match="duplicate"):
+        again.append_quarantine(quarantine_record("good"))
+    # Kind mismatches are refused.
+    with pytest.raises(CampaignError, match="kind"):
+        again.append(quarantine_record("other"))
+    with pytest.raises(CampaignError, match="kind"):
+        again.append_quarantine(cell_record("other"))
+
+
+def test_unknown_record_kind_is_refused_on_load(tmp_path):
+    path = tmp_path / "c.jsonl"
+    store = ResultStore(path)
+    store.ensure_header(tiny_spec())
+    path.write_text(
+        path.read_text()
+        + json.dumps({"kind": "mystery", "cell_id": "x"}) + "\n"
+    )
+    with pytest.raises(CampaignError, match="neither a"):
+        ResultStore(path)
+
+
+def test_fsync_escape_hatch_writes_identical_bytes(tmp_path):
+    durable = ResultStore(tmp_path / "durable.jsonl")
+    fast = ResultStore(tmp_path / "fast.jsonl", fsync=False)
+    assert durable.fsync and not fast.fsync
+    for store in (durable, fast):
+        store.ensure_header(tiny_spec())
+        store.append(cell_record("one"))
+        store.append_quarantine(quarantine_record("two"))
+    assert (tmp_path / "durable.jsonl").read_text() == \
+        (tmp_path / "fast.jsonl").read_text()
+    assert not list(tmp_path.glob("*.tmp"))

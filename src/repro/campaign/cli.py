@@ -1,19 +1,31 @@
-"""``python -m repro.campaign`` — run, resume, report and diff campaigns.
+"""``python -m repro.campaign`` — grids, adaptive searches, reports.
 
 Subcommands::
 
-    run     --preset smoke | --spec FILE [--store PATH] [--workers N]
-            [--seed S] [--max-cell-seconds T] [--max-cell-retries N]
-            [--per-cell] [--fail-on-violations] [--bench-out PATH]
-    resume  --store PATH [--workers N] [same supervision flags]
+    run     --preset smoke | --spec FILE [shared flags]
+            [--seed S] [--per-cell] [--bench-out PATH]
+    resume  --store PATH [shared flags]
     report  --store PATH [--per-cell] [--json]
             [--html PATH [--baseline STORE] [--drift-threshold T]]
     diff    STORE_A STORE_B [--marginal-threshold T]
+    search  run     --preset cliff-smoke | --spec FILE [shared flags]
+                    [--seed S] [--archive PATH]
+    search  resume  --store PATH [shared flags] [--archive PATH]
+    search  export  --store PATH | --archive PATH [--top N] [--out FILE]
+    search  report  --store PATH | --archive PATH [--top N] [--html PATH]
+
+The shared flags — one argparse parent, identical across ``run``,
+``resume`` and the ``search`` executors — are ``--store``, ``--workers``,
+``--max-cell-seconds``, ``--max-cell-retries`` and
+``--fail-on-violations``.
 
 ``run`` against an existing store resumes it (the header must match the
 requested campaign — a different spec at the same path is refused).
 ``resume`` needs no spec at all: the store's header carries the full
-campaign, so a cron job can restart whatever was interrupted.
+campaign *or search*, so a cron job can restart whatever was
+interrupted.  ``search export`` freezes the best discovered cells as
+single-cell grid-spec fragments that ``run --spec`` replays
+byte-identically.
 
 Supervision: ``--workers > 1``, ``--max-cell-seconds`` or
 ``--max-cell-retries`` route execution through the crash-/hang-/poison-
@@ -45,8 +57,14 @@ import time
 from typing import Optional, Sequence
 
 from repro.campaign.matrix import MatrixReport
-from repro.campaign.presets import PRESETS, preset
+from repro.campaign.presets import PRESETS, SEARCH_PRESETS, preset, search_preset
 from repro.campaign.runner import CampaignRunner
+from repro.campaign.search import (
+    SearchArchive,
+    SearchRunner,
+    SearchSpec,
+    default_archive_path,
+)
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
@@ -71,7 +89,17 @@ def _load_spec(args: argparse.Namespace) -> CampaignSpec:
     return preset(args.preset, seed=args.seed)
 
 
-def _default_store(spec: CampaignSpec) -> pathlib.Path:
+def _load_search_spec(args: argparse.Namespace) -> SearchSpec:
+    if args.spec is not None:
+        doc = json.loads(pathlib.Path(args.spec).read_text())
+        spec = SearchSpec.from_dict(doc)
+        if args.seed is not None:
+            spec.seed = args.seed
+        return spec
+    return search_preset(args.preset, seed=args.seed)
+
+
+def _default_store(spec) -> pathlib.Path:
     return pathlib.Path("campaign-results") / f"{spec.name}.jsonl"
 
 
@@ -156,9 +184,8 @@ def _finish(
     return EXIT_OK
 
 
-def _build_runner(
-    spec: CampaignSpec, store: ResultStore, args: argparse.Namespace
-) -> CampaignRunner:
+def _supervision(args: argparse.Namespace) -> tuple[dict, Optional[bool]]:
+    """The executor kwargs the shared supervision flags map to."""
     kwargs = {}
     supervise = None
     if args.max_cell_seconds is not None:
@@ -167,6 +194,13 @@ def _build_runner(
     if args.max_cell_retries is not None:
         kwargs["max_cell_retries"] = args.max_cell_retries
         supervise = True
+    return kwargs, supervise
+
+
+def _build_runner(
+    spec: CampaignSpec, store: ResultStore, args: argparse.Namespace
+) -> CampaignRunner:
+    kwargs, supervise = _supervision(args)
     return CampaignRunner(
         spec, store,
         workers=args.workers,
@@ -194,8 +228,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    store = ResultStore(_require_store(args))
     spec = store.spec()
+    if isinstance(spec, SearchSpec):
+        raise CampaignError(
+            f"{store.path} holds search {spec.name!r}; resume it with: "
+            f"python -m repro.campaign search resume --store {store.path}"
+        )
     runner = _build_runner(spec, store, args)
     quarantined = len(store.quarantined_ids())
     print(
@@ -258,48 +297,213 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+# -- search commands ----------------------------------------------------------
+
+
+def _require_store(args: argparse.Namespace) -> str:
+    if args.store is None:
+        raise CampaignError("resume needs --store (the interrupted run's "
+                            "results path)")
+    return args.store
+
+
+def _build_search_runner(
+    spec: SearchSpec, store: ResultStore, args: argparse.Namespace
+) -> SearchRunner:
+    kwargs, supervise = _supervision(args)
+    return SearchRunner(
+        spec, store,
+        workers=args.workers,
+        supervise=supervise,
+        metrics=MetricsRegistry(),
+        archive_path=args.archive,
+        **kwargs,
+    )
+
+
+def _gen_progress(summary: dict) -> None:
+    print(
+        f"generation {summary['generation']}: "
+        f"{summary['proposed']} proposed, {summary['executed']} executed, "
+        f"best {summary['best']:g} (best so far {summary['best_so_far']:g})",
+        flush=True,
+    )
+
+
+def _finish_search(
+    archive: SearchArchive,
+    runner: SearchRunner,
+    wall: float,
+    args: argparse.Namespace,
+) -> int:
+    print(archive.render())
+    print(
+        f"ran {len(runner.executed)} cells "
+        f"({len(archive.evaluations) - len(runner.executed)} replayed from "
+        f"{runner.store.path}), wall {wall:.1f}s, "
+        f"{runner.workers} worker(s); archive {runner.archive_path}"
+    )
+    if runner.supervise:
+        s = runner.stats
+        print(
+            f"supervisor: {s['worker_restarts']} worker restart(s), "
+            f"{s['cell_retries']} cell retrie(s), "
+            f"{s['quarantined']} quarantined"
+        )
+    if args.fail_on_violations:
+        violations = sum(
+            rec["verdict"]["invariant_violations"]
+            for rec in runner.store.cell_records()
+        )
+        if violations:
+            print(
+                f"FAIL: {violations} invariant violation(s) across the "
+                "evaluated cells",
+                file=sys.stderr,
+            )
+            return EXIT_VIOLATIONS
+        quarantined = sum(1 for ev in archive.evaluations if ev.quarantined)
+        if quarantined:
+            print(
+                f"FAIL: {quarantined} proposal(s) quarantined — the search "
+                "found cells that kill workers",
+                file=sys.stderr,
+            )
+            return EXIT_QUARANTINED
+    return EXIT_OK
+
+
+def cmd_search_run(args: argparse.Namespace) -> int:
+    spec = _load_search_spec(args)
+    store_path = args.store or _default_store(spec)
+    store = ResultStore(store_path)
+    runner = _build_search_runner(spec, store, args)
+    print(
+        f"search {spec.name!r} seed {spec.seed}: "
+        f"{spec.generations} generation(s) x {spec.population}, "
+        f"strategy {spec.strategy.kind}, "
+        f"objective {spec.objective.goal} {spec.objective.metric}, "
+        f"{args.workers} worker(s)"
+        f"{' [supervised]' if runner.supervise else ''}, store {store_path}",
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    archive = runner.run(progress=_progress, on_generation=_gen_progress)
+    return _finish_search(archive, runner, time.perf_counter() - t0, args)
+
+
+def cmd_search_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(_require_store(args))
+    spec = store.spec()
+    if not isinstance(spec, SearchSpec):
+        raise CampaignError(
+            f"{store.path} holds campaign {spec.name!r}; resume it with: "
+            f"python -m repro.campaign resume --store {store.path}"
+        )
+    runner = _build_search_runner(spec, store, args)
+    quarantined = len(store.quarantined_ids())
+    print(
+        f"resuming search {spec.name!r} seed {spec.seed} from "
+        f"{args.store}: {len(store)} cells done"
+        + (f", {quarantined} quarantined (skipped)" if quarantined else ""),
+        flush=True,
+    )
+    t0 = time.perf_counter()
+    archive = runner.run(progress=_progress, on_generation=_gen_progress)
+    return _finish_search(archive, runner, time.perf_counter() - t0, args)
+
+
+def _load_archive(args: argparse.Namespace) -> SearchArchive:
+    if args.archive is not None:
+        return SearchArchive.load(args.archive)
+    if args.store is not None:
+        return SearchArchive.load(default_archive_path(args.store))
+    raise CampaignError("need --archive or --store to locate the search "
+                        "archive")
+
+
+def cmd_search_export(args: argparse.Namespace) -> int:
+    archive = _load_archive(args)
+    doc = archive.export(top=args.top)
+    text = json.dumps(doc, indent=1, sort_keys=True)
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(
+            f"{len(doc['cells'])} cliff cell(s) exported to {args.out} — "
+            "replay one with: python -m repro.campaign run --spec "
+            "<fragment.json>"
+        )
+    else:
+        print(text)
+    return EXIT_OK
+
+
+def cmd_search_report(args: argparse.Namespace) -> int:
+    archive = _load_archive(args)
+    if args.html is not None:
+        from repro.campaign.dashboard import write_search_html
+
+        path = write_search_html(args.html, archive)
+        print(f"search dashboard written to {path}")
+        return EXIT_OK
+    print(archive.render(top=args.top))
+    return EXIT_OK
+
+
+# -- the parser ---------------------------------------------------------------
+
+
+def _exec_parent() -> argparse.ArgumentParser:
+    """The shared executor flags: one parent, so ``run``, ``resume`` and
+    the ``search`` executors cannot drift apart flag by flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--store", default=None,
+                        help="results JSONL path (default "
+                             "campaign-results/<name>.jsonl; required for "
+                             "resume)")
+    parent.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = inline unless a "
+                             "supervision flag is given)")
+    parent.add_argument("--max-cell-seconds", type=float, default=None,
+                        help="per-cell wall-clock budget; a cell still "
+                             "running past it is killed and retried "
+                             "(implies supervised execution)")
+    parent.add_argument("--max-cell-retries", type=int, default=None,
+                        help="retries before a failing cell is quarantined "
+                             "(default 2; implies supervised execution)")
+    parent.add_argument("--fail-on-violations", action="store_true",
+                        help="gate the exit code: 1 violations, "
+                             "3 quarantined cells, 4 incomplete grid")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
-        description="parallel scenario-matrix campaigns over the "
-                    "steering testbed",
+        description="parallel scenario-matrix campaigns and adaptive "
+                    "scenario searches over the steering testbed",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    parent = _exec_parent()
 
-    run = sub.add_parser("run", help="run (or resume) a campaign grid")
+    run = sub.add_parser("run", parents=[parent],
+                         help="run (or resume) a campaign grid")
     run.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
     run.add_argument("--spec", help="campaign spec JSON file "
                                     "(overrides --preset)")
     run.add_argument("--seed", type=int, default=None,
                      help="override the campaign seed")
-    run.add_argument("--store", default=None,
-                     help="results JSONL path "
-                          "(default campaign-results/<name>.jsonl)")
     run.set_defaults(func=cmd_run)
 
     resume = sub.add_parser(
-        "resume", help="finish an interrupted campaign from its store"
+        "resume", parents=[parent],
+        help="finish an interrupted campaign from its store",
     )
-    resume.add_argument("--store", required=True)
     resume.set_defaults(func=cmd_resume)
 
     for cmd in (run, resume):
-        cmd.add_argument("--workers", type=int, default=1,
-                         help="worker processes (1 = inline unless a "
-                              "supervision flag is given)")
-        cmd.add_argument("--max-cell-seconds", type=float, default=None,
-                         help="per-cell wall-clock budget; a cell still "
-                              "running past it is killed and retried "
-                              "(implies supervised execution)")
-        cmd.add_argument("--max-cell-retries", type=int, default=None,
-                         help="retries before a failing cell is "
-                              "quarantined (default 2; implies "
-                              "supervised execution)")
         cmd.add_argument("--per-cell", action="store_true",
                          help="print the per-cell table")
-        cmd.add_argument("--fail-on-violations", action="store_true",
-                         help="gate the exit code: 1 violations, "
-                              "3 quarantined cells, 4 incomplete grid")
         cmd.add_argument("--bench-out", default=None,
                          help="also write a BENCH_*.json envelope here")
 
@@ -329,6 +533,57 @@ def build_parser() -> argparse.ArgumentParser:
              "exit 1 when any marginal drifts beyond it",
     )
     diff.set_defaults(func=cmd_diff)
+
+    search = sub.add_parser(
+        "search", help="adaptive scenario search over a parameter space"
+    )
+    ssub = search.add_subparsers(dest="search_command", required=True)
+
+    srun = ssub.add_parser("run", parents=[parent],
+                           help="run (or resume) an adaptive search")
+    srun.add_argument("--preset", choices=sorted(SEARCH_PRESETS),
+                      default="cliff-smoke")
+    srun.add_argument("--spec", help="search spec JSON file "
+                                     "(overrides --preset)")
+    srun.add_argument("--seed", type=int, default=None,
+                      help="override the search seed")
+    srun.set_defaults(func=cmd_search_run)
+
+    sresume = ssub.add_parser(
+        "resume", parents=[parent],
+        help="finish an interrupted search from its store",
+    )
+    sresume.set_defaults(func=cmd_search_resume)
+
+    for cmd in (srun, sresume):
+        cmd.add_argument("--archive", default=None,
+                         help="archive JSON path (default <store>"
+                              ".archive.json)")
+
+    sexport = ssub.add_parser(
+        "export", help="freeze the best cells as replayable grid specs"
+    )
+    sreport = ssub.add_parser(
+        "report", help="render a stored search archive"
+    )
+    for cmd in (sexport, sreport):
+        cmd.add_argument("--store", default=None,
+                         help="search results store (archive path is "
+                              "derived from it)")
+        cmd.add_argument("--archive", default=None,
+                         help="search archive JSON (overrides --store)")
+    sexport.add_argument("--top", type=int, default=3,
+                         help="how many cliff cells to export (default 3)")
+    sexport.add_argument("--out", default=None,
+                         help="write the cliffs document here instead of "
+                              "stdout")
+    sexport.set_defaults(func=cmd_search_export)
+    sreport.add_argument("--top", type=int, default=5,
+                         help="rows in the top-cell table (default 5)")
+    sreport.add_argument("--html", default=None,
+                         help="write the self-contained search dashboard "
+                              "here")
+    sreport.set_defaults(func=cmd_search_report)
     return parser
 
 
@@ -343,8 +598,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # A signal-initiated drain: the supervisor already flushed every
         # in-flight completed record and shut its workers down.
         store = getattr(args, "store", None)
+        verb = (
+            "search resume" if getattr(args, "search_command", None)
+            else "resume"
+        )
         hint = (
-            f"; resume with: python -m repro.campaign resume "
+            f"; resume with: python -m repro.campaign {verb} "
             f"--store {store}" if store else ""
         )
         print(f"interrupted — store is consistent{hint}", file=sys.stderr)

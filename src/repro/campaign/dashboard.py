@@ -301,3 +301,248 @@ def write_html(path, matrix, baseline=None, drift_threshold: float = 0.05):
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(page)
     return path
+
+
+# -- the search dashboard -----------------------------------------------------
+#
+# ``python -m repro.campaign search report --store S --html out.html``
+# renders the adaptive-search counterpart: objective vs. generation
+# (best-of-generation and best-so-far), a proposed-vs-evaluated scatter
+# of every assignment the strategy ever tried, and the top-cell table.
+# Same rules as the grid page: pure function of the archive, no scripts,
+# byte-identical across same-seed runs.
+
+
+def _search_geometry(evaluations):
+    """Shared y-scale for the search plots: real (non-quarantined,
+    finite) scores only — :data:`WORST_SCORE` sentinels would flatten
+    every real cliff into one pixel."""
+    real = [ev for ev in evaluations if not ev.quarantined]
+    scores = [ev.score for ev in real if math.isfinite(ev.score)]
+    if not scores:
+        return None
+    lo, hi = min(scores), max(scores)
+    if hi - lo < 1e-12:
+        lo, hi = lo - 0.5, hi + 0.5
+    return lo, hi
+
+
+def _objective_curve(archive) -> str:
+    """Inline SVG: best score per generation + cumulative best."""
+    generations = archive.by_generation()
+    span = _search_geometry(archive.evaluations)
+    if span is None or not generations:
+        return '<p class="note">no scored evaluations to plot.</p>'
+    lo, hi = span
+    width, height, pad = 640, 300, 45
+    n = len(generations)
+
+    def sx(gen: int) -> float:
+        return pad + (width - 2 * pad) * (gen + 0.5) / n
+
+    def sy(score: float) -> float:
+        score = min(max(score, lo), hi)
+        return height - pad - (height - 2 * pad) * (score - lo) / (hi - lo)
+
+    parts = [
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}" '
+        'role="img" aria-label="objective vs generation">'
+    ]
+    for i in range(5):
+        frac = i / 4
+        value = lo + (hi - lo) * frac
+        y = sy(value)
+        parts.append(
+            f'<line x1="{pad}" y1="{y:.1f}" x2="{width - pad}" y2="{y:.1f}" '
+            'stroke="#dde" />'
+            f'<text x="{pad - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11" fill="#667">{value:.3g}</text>'
+        )
+    for gen in range(n):
+        parts.append(
+            f'<text x="{sx(gen):.1f}" y="{height - pad + 16}" '
+            f'text-anchor="middle" font-size="11" fill="#667">{gen}</text>'
+        )
+    parts.append(
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#99a" />'
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" '
+        'stroke="#99a" />'
+        f'<text x="{width / 2:.0f}" y="{height - 8}" text-anchor="middle" '
+        'font-size="12">generation</text>'
+        f'<text x="14" y="{height / 2:.0f}" text-anchor="middle" font-size="12" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">objective (lower = '
+        "worse for the fabric)</text>"
+    )
+    gen_best, run_best = [], []
+    best = math.inf
+    for gen, evs in enumerate(generations):
+        real = [ev.score for ev in evs
+                if not ev.quarantined and math.isfinite(ev.score)]
+        if not real:
+            continue
+        gbest = min(real)
+        best = min(best, gbest)
+        gen_best.append((gen, gbest))
+        run_best.append((gen, best))
+    for series, colour, dash in (
+        (gen_best, "#46c", ""), (run_best, "#2a7", ' stroke-dasharray="4 3"')
+    ):
+        if len(series) > 1:
+            points = " ".join(f"{sx(g):.1f},{sy(s):.1f}" for g, s in series)
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{colour}" '
+                f'stroke-width="1.5"{dash} />'
+            )
+    for gen, score in gen_best:
+        parts.append(
+            f'<circle cx="{sx(gen):.1f}" cy="{sy(score):.1f}" r="4" '
+            f'fill="#46c"><title>gen {gen}: best {score:.4g}</title></circle>'
+        )
+    parts.append("</svg>")
+    parts.append(
+        '<p class="note">solid: best of each generation; dashed: best so '
+        "far.</p>"
+    )
+    return "".join(parts)
+
+
+def _search_scatter(archive) -> str:
+    """Inline SVG: every proposal, generation (x) vs score (y);
+    quarantined proposals drawn as red crosses pinned to the top edge."""
+    evaluations = archive.evaluations
+    span = _search_geometry(evaluations)
+    if span is None:
+        return ""
+    lo, hi = span
+    n = archive.generations
+    width, height, pad = 640, 300, 45
+
+    def sx(gen: int, slot: int, slots: int) -> float:
+        lane = (width - 2 * pad) / n
+        return pad + lane * gen + lane * (slot + 1) / (slots + 1)
+
+    def sy(score: float) -> float:
+        score = min(max(score, lo), hi)
+        return height - pad - (height - 2 * pad) * (score - lo) / (hi - lo)
+
+    parts = [
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}" '
+        'role="img" aria-label="every proposal by generation and score">'
+    ]
+    parts.append(
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#99a" />'
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{height - pad}" '
+        'stroke="#99a" />'
+        f'<text x="{width / 2:.0f}" y="{height - 8}" text-anchor="middle" '
+        'font-size="12">generation</text>'
+    )
+    for gen in range(n):
+        lane = (width - 2 * pad) / n
+        x = pad + lane * (gen + 0.5)
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - pad + 16}" text-anchor="middle" '
+            f'font-size="11" fill="#667">{gen}</text>'
+        )
+        if gen:
+            parts.append(
+                f'<line x1="{pad + lane * gen:.1f}" y1="{pad}" '
+                f'x2="{pad + lane * gen:.1f}" y2="{height - pad}" '
+                'stroke="#eef" />'
+            )
+    by_gen = archive.by_generation()
+    for gen, evs in enumerate(by_gen):
+        for slot, ev in enumerate(evs):
+            x = sx(gen, slot, len(evs))
+            label = html.escape(ev.cell_id)
+            if ev.quarantined:
+                parts.append(
+                    f'<g stroke="#b00020" stroke-width="1.5">'
+                    f'<line x1="{x - 4:.1f}" y1="{pad - 4}" x2="{x + 4:.1f}" '
+                    f'y2="{pad + 4}" />'
+                    f'<line x1="{x - 4:.1f}" y1="{pad + 4}" x2="{x + 4:.1f}" '
+                    f'y2="{pad - 4}" />'
+                    f"<title>{label}\nquarantined</title></g>"
+                )
+            else:
+                parts.append(
+                    f'<circle cx="{x:.1f}" cy="{sy(ev.score):.1f}" r="3.5" '
+                    'fill="#46c" fill-opacity="0.75">'
+                    f"<title>{label}\nscore {ev.score:.4g}</title></circle>"
+                )
+    parts.append("</svg>")
+    quarantined = sum(1 for ev in evaluations if ev.quarantined)
+    if quarantined:
+        parts.append(
+            f'<p class="note">{quarantined} quarantined proposal(s) drawn '
+            "as red crosses at the top edge (scored worst-case, excluded "
+            "from the scale).</p>"
+        )
+    return "".join(parts)
+
+
+def _search_table(archive, top: int = 12) -> str:
+    rows = []
+    for rank, ev in enumerate(archive.best(top), start=1):
+        knobs = "; ".join(
+            f"{path}={_fmt(value)}"
+            for path, value in sorted(ev.assignment.items())
+        )
+        rows.append(
+            f'<tr><td>{rank}</td><td class="name">{html.escape(ev.cell_id)}'
+            f"</td><td>{ev.generation}</td><td>{_fmt(ev.score)}</td>"
+            f'<td class="name">{html.escape(knobs)}</td></tr>'
+        )
+    if not rows:
+        return ""
+    return (
+        "<h2>top cells</h2>"
+        '<p class="note">lowest loss first; export them as frozen grid '
+        "specs with <code>search export</code>.</p>"
+        "<table><tr><th>#</th><th>cell</th><th>gen</th><th>score</th>"
+        f'<th>assignment</th></tr>{"".join(rows)}</table>'
+    )
+
+
+def render_search_html(archive) -> str:
+    """The search dashboard page as one HTML string."""
+    spec = archive.spec
+    quarantined = sum(1 for ev in archive.evaluations if ev.quarantined)
+    title = f"search {spec.name!r} seed {spec.seed}"
+    bests = archive.best(1)
+    best_txt = _fmt(bests[0].score) if bests else "-"
+    bad = ' class="bad"' if quarantined else ""
+    totals = (
+        f'<p class="totals">'
+        f"<span><b>{archive.generations}/{spec.generations}</b> "
+        "generations</span>"
+        f"<span><b>{len(archive.evaluations)}</b> evaluations</span>"
+        f"<span{bad}><b>{quarantined}</b> quarantined</span>"
+        f"<span><b>{best_txt}</b> best {html.escape(spec.objective.goal)} "
+        f"{html.escape(spec.objective.metric)}</span>"
+        f"<span><b>{html.escape(spec.strategy.kind)}</b> strategy</span></p>"
+    )
+    sections = [
+        f"<h1>{html.escape(title)}</h1>",
+        totals,
+        "<h2>objective vs. generation</h2>",
+        _objective_curve(archive),
+        "<h2>all proposals</h2>",
+        _search_scatter(archive),
+        _search_table(archive),
+    ]
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head>\n<body>\n"
+        + "\n".join(s for s in sections if s)
+        + "\n</body></html>\n"
+    )
+
+
+def write_search_html(path, archive):
+    """Render and write the search dashboard; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_search_html(archive))
+    return path

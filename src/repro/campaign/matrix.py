@@ -66,6 +66,39 @@ def _p2(samples: list, q: float) -> float:
     return est.value
 
 
+def cell_row(rec: dict) -> dict:
+    """One cell record's deterministic summary row.
+
+    The per-cell rows :meth:`MatrixReport.from_records` tabulates and
+    the metric namespace a search
+    :class:`~repro.campaign.search.Objective` scores over — extracting
+    it keeps the two views of a cell definitionally identical.
+    """
+    report = rec["report"]
+    verdict = rec["verdict"]
+    return {
+        "cell_id": rec["cell_id"],
+        "coords": dict(rec["coords"]),
+        "seed": rec["seed"],
+        "sessions": report["sessions"],
+        "completed": report["completed"],
+        "failed": report["failed"],
+        "goodput": (
+            report["completed"] / report["sessions"]
+            if report["sessions"] else 0.0
+        ),
+        "ops": report["ops"],
+        "violations": verdict["invariant_violations"],
+        "faults_applied": verdict["faults_applied"],
+        "recovered": verdict["recovery"]["recovered"],
+        "impacted": verdict["recovery"]["impacted"],
+        "steer_p90_ms": report["steer_p90_ms"],
+        "wait_p90_s": report.get("load", {}).get(
+            "wait_p90_s", math.nan
+        ),
+    }
+
+
 class _Agg:
     """One aggregation bucket (the whole campaign, or one marginal)."""
 
@@ -208,29 +241,7 @@ class MatrixReport:
                 if agg is None:
                     agg = marginals[axis][name] = _Agg()
                 agg.add(rec)
-            report = rec["report"]
-            verdict = rec["verdict"]
-            cells.append({
-                "cell_id": rec["cell_id"],
-                "coords": dict(rec["coords"]),
-                "seed": rec["seed"],
-                "sessions": report["sessions"],
-                "completed": report["completed"],
-                "failed": report["failed"],
-                "goodput": (
-                    report["completed"] / report["sessions"]
-                    if report["sessions"] else 0.0
-                ),
-                "ops": report["ops"],
-                "violations": verdict["invariant_violations"],
-                "faults_applied": verdict["faults_applied"],
-                "recovered": verdict["recovery"]["recovered"],
-                "impacted": verdict["recovery"]["impacted"],
-                "steer_p90_ms": report["steer_p90_ms"],
-                "wait_p90_s": report.get("load", {}).get(
-                    "wait_p90_s", math.nan
-                ),
-            })
+            cells.append(cell_row(rec))
         missing: list[str] = []
         if spec is not None:
             settled = set(seen)

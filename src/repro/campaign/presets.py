@@ -9,12 +9,25 @@
   autoscaling in the policy axis; the scheduled workflow fails on any
   invariant violation anywhere in the grid.
 
+Search presets (:data:`SEARCH_PRESETS`) are the adaptive counterparts:
+instead of a grid they declare a :class:`~repro.campaign.search
+.SearchSpec` over a continuous :class:`~repro.campaign.space.ParamSpace`
+— ``cliff-smoke`` sized for CI, ``cliff-hunt`` for a real overnight
+cliff expedition.
+
 Presets are functions so every call returns a fresh, independently
-mutable :class:`CampaignSpec` (callers may override the seed).
+mutable spec (callers may override the seed).
 """
 
 from __future__ import annotations
 
+from repro.campaign.search import (
+    EvolutionaryStrategy,
+    Constraint,
+    Objective,
+    SearchSpec,
+)
+from repro.campaign.space import ParamRange, ParamSpace
 from repro.campaign.spec import AxisPoint, CampaignSpec
 from repro.errors import CampaignError
 
@@ -105,5 +118,89 @@ def preset(name: str, seed: int | None = None) -> CampaignSpec:
         raise CampaignError(
             f"unknown campaign preset {name!r}; "
             f"expected one of {sorted(PRESETS)}"
+        ) from None
+    return build() if seed is None else build(seed=seed)
+
+
+# -- adaptive searches --------------------------------------------------------
+
+
+def cliff_smoke(seed: int = 23) -> SearchSpec:
+    """A CI-sized goodput-cliff hunt: 6 evaluations over rate + faults."""
+    space = ParamSpace(
+        name="cliff-smoke",
+        scenario=AxisPoint("paper-mix", {"suite": "paper", **_SESSION_SHAPE}),
+        arrival=AxisPoint("poisson", {"kind": "poisson", "rate": 1.0}),
+        faults=AxisPoint("random", {"random": {}}),
+        policy=AxisPoint("least-loaded", {"placement": "least-loaded"}),
+        ranges=[
+            ParamRange("arrival.rate", 0.5, 6.0),
+            ParamRange("faults.random.n_faults", 1, 5, kind="int"),
+            ParamRange("faults.random.window", 0.3, 1.0),
+            ParamRange("faults.random.duration_scale", 0.5, 2.5),
+        ],
+        base={"n_sites": 2, "queue_slots": 2, "queue_limit": 8,
+              "horizon": 4.0},
+    )
+    return SearchSpec(
+        name="cliff-smoke",
+        seed=seed,
+        space=space,
+        strategy=EvolutionaryStrategy(elites=2),
+        objective=Objective(
+            metric="goodput", goal="min",
+            # a cliff with no traffic is a trivial one — demand that the
+            # search keeps at least a few sessions arriving
+            constraints=(Constraint("sessions", lo=3.0, weight=0.2),),
+        ),
+        generations=2,
+        population=3,
+    )
+
+
+def cliff_hunt(seed: int = 4003) -> SearchSpec:
+    """The overnight expedition: flash-crowd traffic, wide fault ranges."""
+    space = ParamSpace(
+        name="cliff-hunt",
+        scenario=AxisPoint("paper-mix", {"suite": "paper", **_SESSION_SHAPE}),
+        arrival=AxisPoint("flash", {"kind": "flash", "base_rate": 1.0}),
+        faults=AxisPoint("random", {"random": {}}),
+        policy=AxisPoint("least-loaded", {"placement": "least-loaded"}),
+        ranges=[
+            ParamRange("arrival.base_rate", 0.3, 3.0, log=True),
+            ParamRange("arrival.burst_rate", 2.0, 16.0, log=True),
+            ParamRange("arrival.burst_at", 1.0, 8.0),
+            ParamRange("arrival.burst_duration", 0.5, 5.0),
+            ParamRange("faults.random.n_faults", 1, 8, kind="int"),
+            ParamRange("faults.random.window", 0.2, 1.0),
+            ParamRange("faults.random.duration_scale", 0.25, 4.0, log=True),
+        ],
+        base={"n_sites": 3, "queue_slots": 2, "queue_limit": 12,
+              "horizon": 12.0},
+    )
+    return SearchSpec(
+        name="cliff-hunt",
+        seed=seed,
+        space=space,
+        strategy=EvolutionaryStrategy(elites=4, immigrant_rate=0.25),
+        objective=Objective(
+            metric="goodput", goal="min",
+            constraints=(Constraint("sessions", lo=8.0, weight=0.2),),
+        ),
+        generations=6,
+        population=8,
+    )
+
+
+SEARCH_PRESETS = {"cliff-smoke": cliff_smoke, "cliff-hunt": cliff_hunt}
+
+
+def search_preset(name: str, seed: int | None = None) -> SearchSpec:
+    try:
+        build = SEARCH_PRESETS[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown search preset {name!r}; "
+            f"expected one of {sorted(SEARCH_PRESETS)}"
         ) from None
     return build() if seed is None else build(seed=seed)

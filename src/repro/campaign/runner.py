@@ -35,9 +35,10 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import re
 import signal as _signal
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.campaign.axes import (
     build_arrivals,
@@ -102,9 +103,12 @@ def _maybe_inject_fault(cell: CellSpec) -> None:
         state_dir = pathlib.Path(
             doc.get("state_dir") or pathlib.Path(path).parent
         )
+        # Markers key on the cell id, not the index: every cell a search
+        # lowers carries index 0, so indices are not unique there.
+        slug = re.sub(r"[^A-Za-z0-9._-]", "_", cell.cell_id)
         fired = 0
         while True:
-            marker = state_dir / f"fault-{cell.index}-{fired}"
+            marker = state_dir / f"fault-{slug}-{fired}"
             try:
                 fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
@@ -207,17 +211,101 @@ def run_cell(cell: CellSpec) -> dict:
     }
 
 
-class CampaignRunner:
-    """Drive a campaign's unsettled cells to completion.
+def _zero_stats() -> dict:
+    return {
+        "completed": 0, "worker_restarts": 0,
+        "cell_retries": 0, "quarantined": 0,
+    }
 
-    ``workers=1`` (unsupervised) runs cells inline — no processes, no
-    pickling — the reference execution every other mode must match byte
-    for byte.  ``workers>1``, a ``max_cell_seconds`` deadline, or
+
+class CellExecutor:
+    """Settle an explicit list of cells into the store.
+
+    The execution engine shared by :class:`CampaignRunner` (which feeds
+    it a grid's pending cells once) and
+    :class:`~repro.campaign.search.SearchRunner` (which feeds it one
+    generation of proposed cells at a time).  ``workers=1``
+    (unsupervised) runs cells inline — no processes, no pickling — the
+    byte-identical reference execution every other mode must match.
+    ``workers>1``, a ``max_cell_seconds`` deadline, or
     ``supervise=True`` routes execution through the
     :class:`~repro.campaign.supervise.Supervisor`.  ``mp_context``
     defaults to ``"spawn"`` so worker state is a function of the
     CellSpec alone, never of what the parent happened to import or
     mutate first.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        mp_context: str = "spawn",
+        max_cell_seconds: Optional[float] = None,
+        max_cell_retries: int = 2,
+        retry_backoff: float = 0.05,
+        supervise: Optional[bool] = None,
+        metrics=None,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError("campaign needs >= 1 worker")
+        self.store = store
+        self.workers = workers
+        self.mp_context = mp_context
+        self.max_cell_seconds = max_cell_seconds
+        self.max_cell_retries = max_cell_retries
+        self.retry_backoff = retry_backoff
+        if supervise is None:
+            supervise = workers > 1 or max_cell_seconds is not None
+        self.supervise = supervise
+        self.metrics = metrics
+        #: the Supervisor of the last execute() call (None when inline)
+        self.supervisor: Optional[Supervisor] = None
+
+    def execute(
+        self,
+        todo: Sequence[CellSpec],
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Run every cell in ``todo``; returns the outcome counters.
+
+        Raises :class:`KeyboardInterrupt` after a signal-initiated
+        drain — by then every record that finished in time is flushed
+        and the store is consistent, so the caller can simply resume.
+        """
+        stats = _zero_stats()
+        if not todo:
+            return stats
+        if self.supervise:
+            supervisor = Supervisor(
+                self.store,
+                workers=self.workers,
+                mp_context=self.mp_context,
+                max_cell_seconds=self.max_cell_seconds,
+                max_cell_retries=self.max_cell_retries,
+                retry_backoff=self.retry_backoff,
+                metrics=self.metrics,
+            )
+            self.supervisor = supervisor
+            stats = supervisor.run(todo, progress=progress)
+            if supervisor.interrupted is not None:
+                raise KeyboardInterrupt(supervisor.interrupted)
+        else:
+            for cell in todo:
+                record = run_cell(cell)
+                self.store.append(record)
+                stats["completed"] += 1
+                if progress is not None:
+                    progress(record)
+        return stats
+
+
+class CampaignRunner:
+    """Drive a campaign grid's unsettled cells to completion.
+
+    A thin orchestration shell over :class:`CellExecutor`: compute the
+    pending cells, execute them, aggregate the full grid.  All
+    execution semantics (inline reference mode, supervision, retry,
+    quarantine) live in the executor.
     """
 
     def __init__(
@@ -232,28 +320,35 @@ class CampaignRunner:
         supervise: Optional[bool] = None,
         metrics=None,
     ) -> None:
-        if workers < 1:
-            raise CampaignError("campaign needs >= 1 worker")
         self.spec = spec
         self.store = store
-        self.workers = workers
-        self.mp_context = mp_context
-        self.max_cell_seconds = max_cell_seconds
-        self.max_cell_retries = max_cell_retries
-        self.retry_backoff = retry_backoff
-        if supervise is None:
-            supervise = workers > 1 or max_cell_seconds is not None
-        self.supervise = supervise
-        self.metrics = metrics
-        #: the Supervisor of the last run() call (None when inline)
-        self.supervisor: Optional[Supervisor] = None
+        self.executor = CellExecutor(
+            store,
+            workers=workers,
+            mp_context=mp_context,
+            max_cell_seconds=max_cell_seconds,
+            max_cell_retries=max_cell_retries,
+            retry_backoff=retry_backoff,
+            supervise=supervise,
+            metrics=metrics,
+        )
         #: supervision outcome counters of the last run() call
-        self.stats = {
-            "completed": 0, "worker_restarts": 0,
-            "cell_retries": 0, "quarantined": 0,
-        }
+        self.stats = _zero_stats()
         #: cell ids attempted (not resumed-over) by the last run() call
         self.executed: list[str] = []
+
+    @property
+    def workers(self) -> int:
+        return self.executor.workers
+
+    @property
+    def supervise(self) -> bool:
+        return self.executor.supervise
+
+    @property
+    def supervisor(self) -> Optional[Supervisor]:
+        """The Supervisor of the last run() call (None when inline)."""
+        return self.executor.supervisor
 
     def pending(self) -> list[CellSpec]:
         """Cells neither completed nor quarantined yet."""
@@ -274,32 +369,7 @@ class CampaignRunner:
         self.store.ensure_header(self.spec)
         todo = self.pending()
         self.executed = [c.cell_id for c in todo]
-        self.stats = {
-            "completed": 0, "worker_restarts": 0,
-            "cell_retries": 0, "quarantined": 0,
-        }
-        if todo:
-            if self.supervise:
-                supervisor = Supervisor(
-                    self.store,
-                    workers=self.workers,
-                    mp_context=self.mp_context,
-                    max_cell_seconds=self.max_cell_seconds,
-                    max_cell_retries=self.max_cell_retries,
-                    retry_backoff=self.retry_backoff,
-                    metrics=self.metrics,
-                )
-                self.supervisor = supervisor
-                self.stats = supervisor.run(todo, progress=progress)
-                if supervisor.interrupted is not None:
-                    raise KeyboardInterrupt(supervisor.interrupted)
-            else:
-                for cell in todo:
-                    record = run_cell(cell)
-                    self.store.append(record)
-                    self.stats["completed"] += 1
-                    if progress is not None:
-                        progress(record)
+        self.stats = self.executor.execute(todo, progress=progress)
         return MatrixReport.from_records(
             self.store.cell_records(),
             spec=self.spec,

@@ -38,6 +38,26 @@ AXES = ("scenario", "arrival", "faults", "policy")
 
 SPEC_SCHEMA = "repro.campaign/spec-v1"
 
+#: wire-format version carried by every serialised spec.  Bump when a
+#: to_dict/from_dict change would make old readers misinterpret new
+#: documents; from_dict refuses versions it does not know.
+SPEC_VERSION = 1
+
+
+def check_spec_version(doc: dict, what: str = "campaign spec") -> None:
+    """Refuse documents written by an unknown wire-format version.
+
+    Documents predating the version field (PR 5–9 store headers) carry
+    no ``"version"`` key and are read as version 1 — the formats are
+    identical.
+    """
+    version = doc.get("version", 1)
+    if version != SPEC_VERSION:
+        raise CampaignError(
+            f"unsupported {what} version {version!r} (this build reads "
+            f"version {SPEC_VERSION}; upgrade to read newer documents)"
+        )
+
 
 def derive_seed(seed: int, *parts: object) -> int:
     """A stable 63-bit seed from a root seed and a coordinate path.
@@ -213,6 +233,7 @@ class CampaignSpec:
     def to_dict(self) -> dict:
         return {
             "schema": SPEC_SCHEMA,
+            "version": SPEC_VERSION,
             "name": self.name,
             "seed": self.seed,
             "base": dict(self.base),
@@ -230,6 +251,7 @@ class CampaignSpec:
                 f"unsupported campaign spec schema {schema!r} "
                 f"(expected {SPEC_SCHEMA})"
             )
+        check_spec_version(doc)
         try:
             return cls(
                 name=doc["name"],

@@ -136,9 +136,14 @@ class ResultStore:
             finally:
                 os.close(dfd)
 
-    def ensure_header(self, spec: CampaignSpec) -> None:
+    def ensure_header(self, spec) -> None:
         """Write the header on first use; on resume, verify the stored
-        campaign is the one being run (name + seed + full spec)."""
+        campaign is the one being run (name + seed + full spec).
+
+        Accepts anything spec-shaped (``name`` / ``seed`` /
+        ``to_dict()``) — grid :class:`CampaignSpec` and search
+        ``SearchSpec`` headers share one store format.
+        """
         doc = {
             "kind": "header",
             "schema": STORE_SCHEMA,
@@ -192,11 +197,23 @@ class ResultStore:
     def header(self) -> Optional[dict]:
         return self._header
 
-    def spec(self) -> CampaignSpec:
-        """Rebuild the campaign spec a store was recorded under."""
+    def spec(self):
+        """Rebuild the spec a store was recorded under.
+
+        Returns a :class:`CampaignSpec` for grid stores and a
+        :class:`~repro.campaign.search.SearchSpec` for search stores
+        (dispatched on the embedded document's schema), so ``resume``
+        needs nothing but the store path either way.
+        """
         if self._header is None:
             raise CampaignError(f"{self.path}: store has no header yet")
-        return CampaignSpec.from_dict(self._header["spec"])
+        doc = self._header["spec"]
+        if doc.get("schema") == "repro.campaign/search-v1":
+            # deferred import: search builds on the store, not vice versa
+            from repro.campaign.search import SearchSpec
+
+            return SearchSpec.from_dict(doc)
+        return CampaignSpec.from_dict(doc)
 
     def cell_records(self) -> list[dict]:
         return [rec for rec in self._records if rec["kind"] == "cell"]

@@ -34,6 +34,7 @@ The quickest way in::
 
 from repro.chaos.faults import (
     FAULT_KINDS,
+    RANDOM_TUNABLES,
     ContainerCrash,
     Fault,
     FaultSchedule,
@@ -94,6 +95,7 @@ __all__ = [
     "Fault",
     "FaultSchedule",
     "FAULT_KINDS",
+    "RANDOM_TUNABLES",
     "LinkDegrade",
     "Partition",
     "SiteOutage",

@@ -172,6 +172,10 @@ FAULT_KINDS: tuple[type, ...] = (
     RegistryShardLoss, FirewallLockdown, SlowNode,
 )
 
+#: the continuous/integer :meth:`FaultSchedule.random` parameters an
+#: adaptive campaign search may sweep (``faults.random.<name>`` paths)
+RANDOM_TUNABLES: tuple[str, ...] = ("n_faults", "window", "duration_scale")
+
 
 class FaultSchedule:
     """An ordered, validated set of faults — the replayable scenario unit.
@@ -235,6 +239,7 @@ class FaultSchedule:
     @classmethod
     def random(
         cls,
+        *,
         seed: int,
         horizon: float,
         n_faults: int = 4,
@@ -244,20 +249,38 @@ class FaultSchedule:
         hosts: Sequence[str] = (),
         host_pairs: Sequence[tuple[str, str]] = (),
         kinds: Optional[Sequence[type]] = None,
+        window: float = 0.8,
+        duration_scale: float = 1.0,
     ) -> "FaultSchedule":
         """A seeded random schedule over the fabric's population.
 
-        Faults land in disjoint time slots across ``(0, 0.8 * horizon)``
-        — overlap-free per construction, so apply/revert pairs never
-        interleave on the same target and the same seed always compiles
-        to the same DES event sequence.  Kinds needing a population the
-        caller did not declare (no brokers, no host pairs...) are
-        excluded automatically.
+        Keyword-only: the campaign search layer addresses these
+        parameters by name (``faults.random.<param>`` paths), so the
+        signature is part of the wire format and positional calls are
+        refused.
+
+        Faults land in disjoint time slots across ``(0, window *
+        horizon)`` — overlap-free per construction, so apply/revert
+        pairs never interleave on the same target and the same seed
+        always compiles to the same DES event sequence.  Kinds needing
+        a population the caller did not declare (no brokers, no host
+        pairs...) are excluded automatically.
+
+        ``window`` and ``duration_scale`` are the continuous severity
+        knobs an adaptive search sweeps: shrinking the window packs the
+        same faults into less virtual time, and ``duration_scale``
+        stretches (or shortens) every outage within its slot — at the
+        defaults both leave the drawn schedule untouched, so existing
+        seeds stay byte-identical.
         """
         if horizon <= 0:
             raise ChaosError("random schedule needs a positive horizon")
         if n_faults < 1:
             raise ChaosError("random schedule needs >= 1 fault")
+        if not 0.0 < window <= 1.0:
+            raise ChaosError("random schedule window must be in (0, 1]")
+        if duration_scale <= 0:
+            raise ChaosError("random schedule duration_scale must be > 0")
         rng = random.Random(seed)
         pool = list(kinds) if kinds is not None else list(FAULT_KINDS)
         if sites < 1:
@@ -273,14 +296,16 @@ class FaultSchedule:
         if not pool:
             raise ChaosError("no fault kind is satisfiable with the declared populations")
         schedule = cls()
-        slot = 0.8 * horizon / n_faults
+        slot = window * horizon / n_faults
         for i in range(n_faults):
             kind = rng.choice(pool)
             offset = rng.uniform(0.1, 0.5) * slot
             at = slot * i + offset
             # The whole apply..revert window stays inside this fault's
-            # slot, so windows are disjoint by construction.
+            # slot, so windows are disjoint by construction; the scale
+            # is clamped to the slot remainder for the same reason.
             duration = rng.uniform(0.3, 0.95) * (slot - offset)
+            duration = min(duration * duration_scale, slot - offset)
             if kind is LinkDegrade:
                 a, b = rng.choice(list(host_pairs))
                 schedule.add(LinkDegrade(

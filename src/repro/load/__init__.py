@@ -30,6 +30,7 @@ The quickest way in::
 """
 
 from repro.load.arrivals import (
+    ARRIVAL_TUNABLES,
     ArrivalProcess,
     DiurnalArrivals,
     FlashCrowdArrivals,
@@ -57,6 +58,7 @@ from repro.load.admission import AdmissionController
 from repro.load.autoscale import ReactiveAutoscaler
 
 __all__ = [
+    "ARRIVAL_TUNABLES",
     "ArrivalProcess",
     "PoissonArrivals",
     "DiurnalArrivals",

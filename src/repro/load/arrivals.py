@@ -75,6 +75,9 @@ class ArrivalProcess:
 class PoissonArrivals(ArrivalProcess):
     """Homogeneous Poisson arrivals at ``rate`` per virtual second."""
 
+    #: constructor parameters an adaptive campaign search may sweep
+    TUNABLE: tuple[str, ...] = ("rate",)
+
     def __init__(self, rate: float, horizon: float, seed: int = 0, **kwargs) -> None:
         if rate <= 0:
             raise LoadError("arrival rate must be > 0")
@@ -126,6 +129,9 @@ class DiurnalArrivals(_ThinnedArrivals):
     ``base_rate + amplitude`` with the given period (a compressed day):
     quiet at t=0, peaking mid-period."""
 
+    #: constructor parameters an adaptive campaign search may sweep
+    TUNABLE: tuple[str, ...] = ("base_rate", "amplitude", "period")
+
     def __init__(
         self,
         base_rate: float,
@@ -157,6 +163,9 @@ class FlashCrowdArrivals(_ThinnedArrivals):
     """Baseline Poisson traffic with a burst window at ``burst_rate``
     (the showfloor demo moment: everyone connects at once)."""
 
+    #: constructor parameters an adaptive campaign search may sweep
+    TUNABLE: tuple[str, ...] = ("base_rate", "burst_rate", "burst_at", "burst_duration")
+
     def __init__(
         self,
         base_rate: float,
@@ -185,6 +194,16 @@ class FlashCrowdArrivals(_ThinnedArrivals):
     @property
     def peak_rate(self) -> float:
         return self.burst_rate
+
+
+#: per-arrival-kind map of the continuous parameters an adaptive campaign
+#: search may sweep (``arrival.<name>`` paths) — keyed by the campaign
+#: ``arrival`` axis kind names, seeded kinds only (traces replay verbatim)
+ARRIVAL_TUNABLES: dict[str, tuple[str, ...]] = {
+    "poisson": PoissonArrivals.TUNABLE,
+    "diurnal": DiurnalArrivals.TUNABLE,
+    "flash": FlashCrowdArrivals.TUNABLE,
+}
 
 
 def _validate_instants(raw: Sequence[float], what: str = "trace") -> list[float]:

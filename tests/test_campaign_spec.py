@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.campaign import AxisPoint, CampaignSpec, derive_seed
+from repro.campaign import AxisPoint, CampaignSpec, SPEC_VERSION, derive_seed
 from repro.errors import CampaignError
 
 
@@ -96,3 +96,16 @@ def test_from_dict_rejects_bad_documents():
         CampaignSpec.from_dict({"schema": "nope", "name": "x"})
     with pytest.raises(CampaignError):
         CampaignSpec.from_dict({"name": "x"})  # missing axes
+
+
+def test_wire_format_is_versioned():
+    doc = grid().to_dict()
+    assert doc["version"] == SPEC_VERSION == 1
+    # a future version is refused loudly, not misread
+    doc["version"] = 99
+    with pytest.raises(CampaignError, match="version 99"):
+        CampaignSpec.from_dict(doc)
+    # documents predating the version field read as version 1
+    doc = grid().to_dict()
+    del doc["version"]
+    assert CampaignSpec.from_dict(doc).to_dict() == grid().to_dict()
